@@ -1,0 +1,11 @@
+"""Figure 1 vs Figure 2 as an ablation: the same faulty drafts corrected
+under pair programming (all prompts human) vs VPP (verifier-automated)."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_vpp_ablation
+
+
+def test_fig2_vpp_ablation(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_vpp_ablation, seed=0)
+    assert "pair programming" in text
+    assert "reduction" in text

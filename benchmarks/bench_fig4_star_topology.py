@@ -1,0 +1,11 @@
+"""Figure 4: the star network used for local synthesis, regenerated from
+the network generator (text + JSON outputs)."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_figure4
+
+
+def test_fig4_star_topology(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_figure4, router_count=7)
+    assert "CUSTOMER" in text
+    assert "routers: 7" in text

@@ -1,0 +1,15 @@
+"""§4.2's IIP before/after: the four Initial Instruction Prompts prevent
+the common draft errors, shrinking the syntax-correction load."""
+
+from conftest import run_and_print
+from repro.experiments import run_iip_ablation
+
+
+def _render(seed: int = 0) -> str:
+    return run_iip_ablation(seed=seed).render()
+
+
+def test_iip_ablation(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, _render, seed=0)
+    assert "draft error(s) prevented" in text
+    assert "both verified: True" in text

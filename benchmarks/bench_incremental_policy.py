@@ -1,0 +1,31 @@
+"""Extension (paper §6): incremental policy addition.
+
+"Can GPT-4 add a new policy incrementally without interfering with
+existing verified policy?"  Measures the loop that adds an AS-path
+depref on the hub while re-verifying the no-transit invariants, and the
+negative control without re-verification.
+"""
+
+from conftest import run_and_print
+from repro.experiments import run_incremental_policy_experiment
+
+
+def _render(seed: int = 0) -> str:
+    with_recheck = run_incremental_policy_experiment(seed=seed)
+    control = run_incremental_policy_experiment(
+        seed=seed, recheck_old_invariants=False
+    )
+    return "\n".join(
+        [
+            "Incremental policy addition (paper §6 question)",
+            "-" * 72,
+            "with re-verification:    " + with_recheck.render(),
+            "without re-verification: " + control.render(),
+        ]
+    )
+
+
+def test_incremental_policy(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, _render, seed=0)
+    assert "caught and repaired" in text
+    assert "NOT caught" in text

@@ -1,0 +1,10 @@
+"""§4.2 leverage: automated vs human prompts for no-transit synthesis on
+the 7-router star (paper: 12 automated / 2 human → 6X)."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_leverage_no_transit
+
+
+def test_leverage_no_transit(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_leverage_no_transit, seed=0)
+    assert "verified=True" in text

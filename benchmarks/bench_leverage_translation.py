@@ -1,0 +1,10 @@
+"""§3.2 leverage: automated vs human prompts for Cisco→Juniper
+translation (paper: ~20 automated / 2 human → 10X)."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_leverage_translation
+
+
+def test_leverage_translation(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_leverage_translation, seed=0)
+    assert "verified=True" in text

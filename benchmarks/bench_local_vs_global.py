@@ -1,0 +1,12 @@
+"""§4.1 local vs global specification prompts: the global-spec model
+oscillates between its two plausible-but-wrong strategies; local
+per-router specs converge."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_local_vs_global
+
+
+def test_local_vs_global(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_local_vs_global, seed=0)
+    assert "did NOT converge" in text
+    assert "as-path-regex -> deny-at-customer" in text

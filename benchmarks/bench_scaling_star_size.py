@@ -1,0 +1,11 @@
+"""Extension: leverage vs star size (the paper's 'further testing in
+more complex use cases' direction)."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_scaling
+
+
+def test_scaling_star_size(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_scaling, seed=0)
+    assert "n= 4" in text
+    assert "n=10" in text

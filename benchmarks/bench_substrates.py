@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not a paper artifact — these measure the building blocks (parsers,
+symbolic engine, BGP simulator) so performance regressions in the
+substrates are visible independently of the experiment loops.
+"""
+
+from repro.batfish import BgpSimulation
+from repro.campion import compare_configs
+from repro.cisco import generate_cisco, parse_cisco
+from repro.juniper import generate_juniper, parse_juniper, translate_cisco_to_juniper
+from repro.netmodel import Action, Community
+from repro.sampleconfigs import BATFISH_EXAMPLE_CISCO, load_translation_source
+from repro.symbolic import RouteConstraint, search_route_policies
+from repro.topology import generate_star_network
+from repro.topology.reference import build_reference_configs
+
+
+def test_parse_cisco_config(benchmark):
+    result = benchmark(parse_cisco, BATFISH_EXAMPLE_CISCO)
+    assert not result.warnings
+
+
+def test_parse_juniper_config(benchmark):
+    source = load_translation_source()
+    juniper, _ = translate_cisco_to_juniper(source)
+    text = generate_juniper(juniper)
+    result = benchmark(parse_juniper, text)
+    assert not result.warnings
+
+
+def test_translate_and_render(benchmark):
+    source = load_translation_source()
+
+    def run():
+        juniper, _ = translate_cisco_to_juniper(source)
+        return generate_juniper(juniper)
+
+    assert "policy-statement" in benchmark(run)
+
+
+def test_campion_compare_clean_pair(benchmark):
+    source = load_translation_source()
+    juniper, _ = translate_cisco_to_juniper(load_translation_source())
+    report = benchmark(
+        compare_configs, source, juniper, False
+    )
+    assert report.clean
+
+
+def test_search_route_policies(benchmark, star7_configs=None):
+    star = generate_star_network(7)
+    configs = build_reference_configs(star.topology)
+    hub = configs["R1"]
+    constraint = RouteConstraint.with_community(Community(101, 1))
+    results = benchmark(
+        search_route_policies,
+        hub,
+        "FILTER_COMM_OUT_R2",
+        Action.PERMIT,
+        constraint,
+    )
+    assert results == []
+
+
+def test_bgp_simulation_star7(benchmark):
+    star = generate_star_network(7)
+    references = build_reference_configs(star.topology)
+    texts = {name: generate_cisco(cfg) for name, cfg in references.items()}
+
+    def run():
+        configs = {
+            name: parse_cisco(text, filename=name).config
+            for name, text in texts.items()
+        }
+        simulation = BgpSimulation(configs)
+        simulation.run()
+        return simulation
+
+    simulation = benchmark(run)
+    assert simulation.iterations >= 2

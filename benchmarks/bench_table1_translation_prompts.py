@@ -1,0 +1,16 @@
+"""Table 1: sample rectification prompts for translation.
+
+Runs the full §3 VPP loop and harvests the humanizer's first generated
+prompt for each of the four error classes (syntax, structural mismatch,
+attribute difference, policy behaviour difference).
+"""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_table1
+
+
+def test_table1_translation_prompts(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_table1, seed=0)
+    assert "There is a syntax error" in text
+    assert "no corresponding" in text
+    assert "cost set to" in text

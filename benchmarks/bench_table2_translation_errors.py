@@ -1,0 +1,12 @@
+"""Table 2: translation errors found and whether the generated prompt
+sufficed (the two 'No' rows need a human, exactly as in the paper)."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_table2
+
+
+def test_table2_translation_errors(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_table2, seed=0)
+    assert "Different prefix lengths match in BGP" in text
+    assert "Different redistribution into BGP" in text
+    assert text.count("No") >= 2

@@ -1,0 +1,11 @@
+"""Table 3: sample rectification prompts for local synthesis (syntax /
+topology / semantic), with verifier-supplied fields spliced in."""
+
+from conftest import run_and_print
+from repro.experiments.tables import render_table3
+
+
+def test_table3_synthesis_prompts(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, render_table3, seed=0)
+    assert "[topology]" in text
+    assert "[semantic]" in text

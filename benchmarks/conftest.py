@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure) and prints
+it, so the ``--benchmark-only`` output can be read against the paper.
+Experiment benches run a full VPP loop per round; they use a small fixed
+round count to keep the harness fast.
+"""
+
+import pytest
+
+EXPERIMENT_ROUNDS = 3
+
+
+def run_and_print(benchmark, capsys, producer, *args, **kwargs):
+    """Benchmark ``producer`` and print its (string) result."""
+    text = benchmark.pedantic(
+        producer, args=args, kwargs=kwargs, rounds=EXPERIMENT_ROUNDS, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text + "\n")
+    return text

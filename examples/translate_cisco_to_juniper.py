@@ -1,0 +1,54 @@
+"""Walk through the translation VPP loop prompt by prompt.
+
+Usage::
+
+    python examples/translate_cisco_to_juniper.py [seed]
+
+Shows the slow-motion view of Figure 3 for the translation use case:
+every verifier finding, the humanized prompt COSYNTH generates for it,
+punts to the human, and the final verified Juniper configuration.
+"""
+
+import sys
+
+from repro import LoopLimits, ScriptedHuman, TranslationOrchestrator
+from repro.core.leverage import PromptKind
+from repro.llm import make_translation_model, translation_fault_catalog
+from repro.sampleconfigs import BATFISH_EXAMPLE_CISCO, load_translation_source
+
+
+def main(seed: int = 0) -> None:
+    source = load_translation_source()
+    print("Source Cisco configuration")
+    print("-" * 72)
+    print(BATFISH_EXAMPLE_CISCO)
+
+    model = make_translation_model(seed=seed)
+    human = ScriptedHuman(translation_fault_catalog())
+    orchestrator = TranslationOrchestrator(
+        source, model, human=human, limits=LoopLimits(attempts_per_finding=3)
+    )
+    result = orchestrator.run()
+
+    print("Correction loop")
+    print("-" * 72)
+    for record in result.prompt_log.records:
+        if record.kind is PromptKind.INITIAL:
+            print(f"[task]      {record.text}")
+        elif record.kind is PromptKind.AUTOMATED:
+            print(f"[automated/{record.stage}] {record.text}")
+        else:
+            print(f"[HUMAN/{record.stage}]     {record.text}")
+    print()
+    print(result.prompt_log.summary())
+    print(f"back edges (semantic fix broke syntax): "
+          f"{result.transcript.back_edges()}")
+    print()
+
+    print("Final verified Juniper configuration")
+    print("-" * 72)
+    print(result.final_text)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

@@ -1,0 +1,78 @@
+"""COSYNTH: Verified Prompt Programming for router configurations.
+
+A complete, runnable reproduction of "What do LLMs need to Synthesize
+Correct Router Configurations?" (HotNets 2023): the VPP loop pairing an
+LLM with a verifier suite (a Batfish substitute for syntax and symbolic
+policy questions, a Campion substitute for semantic config diffing, a
+Lightyear-style local-policy verifier, and a topology verifier), plus a
+humanizer, modularizer, IIP database, leverage accounting, and a
+calibrated simulated GPT-4 standing in for the API the authors lacked.
+
+Quickstart::
+
+    from repro import run_translation_experiment
+    experiment = run_translation_experiment(seed=0)
+    print(experiment.result.prompt_log.summary())
+"""
+
+from .core import (
+    DEFAULT_IIP_IDS,
+    Composer,
+    Humanizer,
+    IIPDatabase,
+    LoopLimits,
+    Modularizer,
+    PromptKind,
+    PromptLog,
+    ScriptedHuman,
+    SynthesisOrchestrator,
+    TranslationOrchestrator,
+)
+from .errors import ErrorCategory, Finding
+from .experiments import (
+    run_local_vs_global,
+    run_no_transit_experiment,
+    run_scaling_sweep,
+    run_synthesis_ablation,
+    run_translation_ablation,
+    run_translation_experiment,
+)
+from .llm import (
+    BehaviorProfile,
+    LLMClient,
+    SimulatedGPT4,
+    make_synthesis_models,
+    make_translation_model,
+)
+from .topology import generate_star_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BehaviorProfile",
+    "Composer",
+    "DEFAULT_IIP_IDS",
+    "ErrorCategory",
+    "Finding",
+    "Humanizer",
+    "IIPDatabase",
+    "LLMClient",
+    "LoopLimits",
+    "Modularizer",
+    "PromptKind",
+    "PromptLog",
+    "ScriptedHuman",
+    "SimulatedGPT4",
+    "SynthesisOrchestrator",
+    "TranslationOrchestrator",
+    "__version__",
+    "generate_star_network",
+    "make_synthesis_models",
+    "make_translation_model",
+    "run_local_vs_global",
+    "run_no_transit_experiment",
+    "run_scaling_sweep",
+    "run_synthesis_ablation",
+    "run_translation_ablation",
+    "run_translation_experiment",
+]

@@ -1,0 +1,18 @@
+"""Batfish substitute: snapshots, parse warnings, symbolic policy
+questions, and BGP control-plane simulation behind a pybatfish-like API.
+"""
+
+from .bgpsim import BgpSession, BgpSimulation, RibEntry
+from .session import BfSessionError, BgpSessionRow, Session
+from .snapshot import Snapshot, detect_vendor
+
+__all__ = [
+    "BfSessionError",
+    "BgpSession",
+    "BgpSessionRow",
+    "BgpSimulation",
+    "RibEntry",
+    "Session",
+    "Snapshot",
+    "detect_vendor",
+]

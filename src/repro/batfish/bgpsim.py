@@ -1,0 +1,298 @@
+"""BGP control-plane simulation over a snapshot of router configs.
+
+This is the "simulate the entire BGP communication using Batfish as a
+final step" of §4.1: after the per-router local policies verify, the
+whole network is simulated to confirm the *global* no-transit policy.
+
+The simulator:
+
+* derives eBGP sessions from mutual neighbor declarations (A declares a
+  neighbor address owned by B with B's AS, and vice versa);
+* originates a router's ``network`` statements as BGP routes;
+* propagates routes to fixpoint, applying the advertiser's export
+  route-map, AS-path prepending, AS-loop rejection, and the receiver's
+  import route-map;
+* runs standard best-path selection (local-pref, AS-path length, MED,
+  tie-break on advertiser name for determinism).
+
+Communities always propagate (Junos default); the experiments' policies
+tag and filter within a single router, so Cisco's ``send-community``
+subtlety does not change any experiment outcome — the flag is still
+parsed and carried in the IR for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..netmodel.device import RouterConfig
+from ..netmodel.ip import Ipv4Address, Prefix
+from ..netmodel.route import Protocol, Route
+from ..netmodel.routing_policy import Action, PolicyEvaluationError
+from ..netmodel.aspath import AsPath
+
+__all__ = ["BgpSession", "BgpSimulation", "RibEntry"]
+
+MAX_ITERATIONS = 64
+
+
+@dataclass(frozen=True)
+class BgpSession:
+    """An established (bidirectional) eBGP session between two routers."""
+
+    local_router: str
+    local_ip: Ipv4Address
+    remote_router: str
+    remote_ip: Ipv4Address
+
+    def reversed(self) -> "BgpSession":
+        return BgpSession(
+            local_router=self.remote_router,
+            local_ip=self.remote_ip,
+            remote_router=self.local_router,
+            remote_ip=self.local_ip,
+        )
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """A route installed in a router's BGP RIB, with provenance."""
+
+    route: Route
+    learned_from: Optional[str]  # hostname, or None for locally originated
+    origin_router: str  # hostname of the originator
+
+    @property
+    def is_local(self) -> bool:
+        return self.learned_from is None
+
+
+class BgpSimulation:
+    """Fixpoint BGP route propagation over a set of configs."""
+
+    def __init__(self, configs: Dict[str, RouterConfig]) -> None:
+        """``configs`` maps hostname to parsed config."""
+        self._configs = dict(configs)
+        self._address_owner = self._index_addresses()
+        self._sessions = self._derive_sessions()
+        self._ribs: Dict[str, Dict[Prefix, RibEntry]] = {
+            hostname: {} for hostname in self._configs
+        }
+        self._converged = False
+        self._iterations = 0
+
+    # -- topology derivation ---------------------------------------------------
+
+    def _index_addresses(self) -> Dict[Ipv4Address, str]:
+        owners: Dict[Ipv4Address, str] = {}
+        for hostname, config in self._configs.items():
+            for interface in config.interfaces.values():
+                if interface.address is not None:
+                    owners[interface.address] = hostname
+        return owners
+
+    def _derive_sessions(self) -> List[BgpSession]:
+        """Sessions where both sides declare each other correctly."""
+        sessions: List[BgpSession] = []
+        seen: Set[Tuple[str, str]] = set()
+        for hostname, config in self._configs.items():
+            if config.bgp is None:
+                continue
+            for neighbor in config.bgp.sorted_neighbors():
+                remote_hostname = self._address_owner.get(neighbor.ip)
+                if remote_hostname is None or remote_hostname == hostname:
+                    continue
+                remote_config = self._configs[remote_hostname]
+                if remote_config.bgp is None:
+                    continue
+                if neighbor.remote_as != remote_config.bgp.asn:
+                    continue
+                # The remote must declare a neighbor address owned by us
+                # with our AS.
+                local_ip = self._find_reverse_address(
+                    remote_config, hostname, config.bgp.asn
+                )
+                if local_ip is None:
+                    continue
+                key = tuple(sorted((hostname, remote_hostname)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                sessions.append(
+                    BgpSession(
+                        local_router=hostname,
+                        local_ip=local_ip,
+                        remote_router=remote_hostname,
+                        remote_ip=neighbor.ip,
+                    )
+                )
+        return sessions
+
+    def _find_reverse_address(
+        self, remote_config: RouterConfig, local_hostname: str, local_asn: int
+    ) -> Optional[Ipv4Address]:
+        assert remote_config.bgp is not None
+        local_config = self._configs[local_hostname]
+        local_addresses = {
+            interface.address
+            for interface in local_config.interfaces.values()
+            if interface.address is not None
+        }
+        for neighbor in remote_config.bgp.sorted_neighbors():
+            if neighbor.ip in local_addresses and neighbor.remote_as == local_asn:
+                return neighbor.ip
+        return None
+
+    # -- public accessors ---------------------------------------------------------
+
+    @property
+    def sessions(self) -> List[BgpSession]:
+        """Established sessions (one record per bidirectional session)."""
+        return list(self._sessions)
+
+    @property
+    def iterations(self) -> int:
+        return self._iterations
+
+    def rib(self, hostname: str) -> Dict[Prefix, RibEntry]:
+        """The post-convergence RIB of a router."""
+        if not self._converged:
+            self.run()
+        return dict(self._ribs[hostname])
+
+    def has_route(self, hostname: str, prefix: Prefix) -> bool:
+        return prefix in self.rib(hostname)
+
+    def provenance(self, hostname: str, prefix: Prefix) -> Optional[str]:
+        """Hostname of the originator of the installed route, if any."""
+        entry = self.rib(hostname).get(prefix)
+        return entry.origin_router if entry is not None else None
+
+    # -- simulation -------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Propagate to fixpoint; returns the number of iterations."""
+        if self._converged:
+            return self._iterations
+        self._originate()
+        directed = [
+            session for pair in self._sessions for session in (pair, pair.reversed())
+        ]
+        for iteration in range(1, MAX_ITERATIONS + 1):
+            changed = False
+            for session in directed:
+                if self._advertise(session):
+                    changed = True
+            self._iterations = iteration
+            if not changed:
+                break
+        self._converged = True
+        return self._iterations
+
+    def _originate(self) -> None:
+        for hostname, config in self._configs.items():
+            if config.bgp is None:
+                continue
+            for prefix in config.bgp.networks:
+                route = Route(prefix=prefix, protocol=Protocol.BGP)
+                self._install(
+                    hostname,
+                    RibEntry(route=route, learned_from=None, origin_router=hostname),
+                )
+
+    def _advertise(self, session: BgpSession) -> bool:
+        """Advertise the sender's RIB across one directed session."""
+        sender = session.local_router
+        receiver = session.remote_router
+        sender_config = self._configs[sender]
+        receiver_config = self._configs[receiver]
+        assert sender_config.bgp is not None and receiver_config.bgp is not None
+        export_map = self._neighbor_policy(sender_config, session.remote_ip, "export")
+        import_map = self._neighbor_policy(receiver_config, session.local_ip, "import")
+        changed = False
+        for entry in list(self._ribs[sender].values()):
+            if entry.learned_from == receiver:
+                continue  # do not reflect a route back to its source
+            advertised = entry.route
+            if export_map is not None:
+                try:
+                    outcome = export_map.evaluate(advertised, sender_config)
+                except PolicyEvaluationError:
+                    continue
+                if outcome.action is Action.DENY:
+                    continue
+                advertised = outcome.route
+            advertised = advertised.with_as_prepended(sender_config.bgp.asn)
+            advertised = advertised.with_next_hop(session.local_ip)
+            if advertised.as_path.contains(receiver_config.bgp.asn):
+                continue  # AS-loop prevention
+            if import_map is not None:
+                try:
+                    outcome = import_map.evaluate(advertised, receiver_config)
+                except PolicyEvaluationError:
+                    continue
+                if outcome.action is Action.DENY:
+                    continue
+                advertised = outcome.route
+            candidate = RibEntry(
+                route=advertised,
+                learned_from=sender,
+                origin_router=entry.origin_router,
+            )
+            if self._install(receiver, candidate):
+                changed = True
+        return changed
+
+    def _neighbor_policy(
+        self, config: RouterConfig, neighbor_ip: Ipv4Address, direction: str
+    ):
+        assert config.bgp is not None
+        neighbor = config.bgp.get_neighbor(neighbor_ip)
+        if neighbor is None:
+            return None
+        name = (
+            neighbor.export_policy if direction == "export" else neighbor.import_policy
+        )
+        if name is None:
+            return None
+        return config.get_route_map(name)
+
+    def _install(self, hostname: str, candidate: RibEntry) -> bool:
+        """Install if better than the current best; returns True on change."""
+        rib = self._ribs[hostname]
+        incumbent = rib.get(candidate.route.prefix)
+        if incumbent is None or self._better(candidate, incumbent):
+            if incumbent is not None and _entry_key(incumbent) == _entry_key(candidate):
+                return False
+            rib[candidate.route.prefix] = candidate
+            return True
+        return False
+
+    @staticmethod
+    def _better(candidate: RibEntry, incumbent: RibEntry) -> bool:
+        """Standard BGP decision process (deterministic tie-break)."""
+        if candidate.is_local != incumbent.is_local:
+            return candidate.is_local  # locally originated wins
+        left, right = candidate.route, incumbent.route
+        if left.local_pref != right.local_pref:
+            return left.local_pref > right.local_pref
+        if len(left.as_path) != len(right.as_path):
+            return len(left.as_path) < len(right.as_path)
+        if left.med != right.med:
+            return left.med < right.med
+        return (candidate.learned_from or "") < (incumbent.learned_from or "")
+
+
+def _entry_key(entry: RibEntry) -> Tuple:
+    route = entry.route
+    return (
+        route.prefix,
+        route.as_path.asns,
+        tuple(sorted(str(c) for c in route.communities)),
+        route.med,
+        route.local_pref,
+        str(route.next_hop),
+        entry.learned_from,
+        entry.origin_router,
+    )

@@ -1,0 +1,186 @@
+"""A pybatfish-flavoured session facade.
+
+The paper's COSYNTH design calls Batfish in two roles: a *syntax
+verifier* (parse warnings) and a *semantic verifier* (symbolic route-map
+search, plus full BGP simulation for the final global check).  This
+module packages those roles behind an API shaped like ``pybatfish``'s
+``Session``/questions so a future port to the real Batfish is a drop-in
+swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..netmodel.device import RouterConfig
+from ..netmodel.diagnostics import ParseWarning
+from ..netmodel.ip import Prefix
+from ..netmodel.routing_policy import Action
+from ..symbolic import (
+    PolicySearchResult,
+    RouteConstraint,
+    search_route_policies,
+)
+from .bgpsim import BgpSimulation, BgpSession
+from .snapshot import Snapshot
+
+__all__ = ["Session", "BfSessionError", "BgpSessionRow"]
+
+
+class BfSessionError(Exception):
+    """Raised for misuse of the session (no snapshot, unknown node...)."""
+
+
+@dataclass(frozen=True)
+class BgpSessionRow:
+    """One row of the bgp-session-compatibility answer."""
+
+    node: str
+    remote_node: Optional[str]
+    local_ip: str
+    remote_ip: str
+    established: bool
+
+
+class Session:
+    """Entry point mirroring ``pybatfish.client.session.Session``."""
+
+    def __init__(self) -> None:
+        self._snapshot: Optional[Snapshot] = None
+        self._simulation: Optional[BgpSimulation] = None
+        self.q = _Questions(self)
+
+    # -- snapshot management --------------------------------------------------
+
+    def init_snapshot_from_texts(
+        self, texts: Dict[str, str], name: str = "snapshot"
+    ) -> Snapshot:
+        self._snapshot = Snapshot.from_texts(texts, name=name)
+        self._simulation = None
+        return self._snapshot
+
+    def init_snapshot(self, path: "Path | str", name: Optional[str] = None) -> Snapshot:
+        self._snapshot = Snapshot.from_directory(path, name=name)
+        self._simulation = None
+        return self._snapshot
+
+    @property
+    def snapshot(self) -> Snapshot:
+        if self._snapshot is None:
+            raise BfSessionError("no snapshot initialized")
+        return self._snapshot
+
+    def config_of(self, node: str) -> RouterConfig:
+        config = self.snapshot.config_by_hostname(node)
+        if config is None and node in self.snapshot.configs:
+            config = self.snapshot.configs[node]
+        if config is None:
+            raise BfSessionError(f"unknown node {node!r}")
+        return config
+
+    def simulation(self) -> BgpSimulation:
+        """The (lazily built) BGP simulation over the snapshot."""
+        if self._simulation is None:
+            configs = {
+                config.hostname: config
+                for config in self.snapshot.configs.values()
+            }
+            self._simulation = BgpSimulation(configs)
+            self._simulation.run()
+        return self._simulation
+
+
+class _Questions:
+    """The ``session.q.<question>()`` namespace."""
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+
+    def parse_warning(self) -> List[ParseWarning]:
+        """All parse warnings across the snapshot (syntax verifier)."""
+        return self._session.snapshot.all_warnings()
+
+    def parse_warning_for(self, node: str) -> List[ParseWarning]:
+        snapshot = self._session.snapshot
+        for filename, config in snapshot.configs.items():
+            if config.hostname == node or filename == node:
+                return list(snapshot.warnings[filename])
+        raise BfSessionError(f"unknown node {node!r}")
+
+    def undefined_references(self, node: str) -> List[str]:
+        """Policy names referenced but never defined on a node."""
+        return self._session.config_of(node).undefined_references()
+
+    def search_route_policies(
+        self,
+        node: str,
+        policy: str,
+        action: str = "permit",
+        input_constraints: Optional[RouteConstraint] = None,
+        limit: int = 10,
+    ) -> List[PolicySearchResult]:
+        """Batfish's SearchRoutePolicies (semantic verifier, §4.1)."""
+        config = self._session.config_of(node)
+        return search_route_policies(
+            config,
+            policy,
+            Action(action),
+            constraint=input_constraints,
+            limit=limit,
+        )
+
+    def bgp_session_compatibility(self) -> List[BgpSessionRow]:
+        """Which declared sessions actually establish."""
+        session = self._session
+        simulation = session.simulation()
+        established = {
+            (item.local_router, str(item.remote_ip)) for item in simulation.sessions
+        } | {
+            (item.remote_router, str(item.local_ip)) for item in simulation.sessions
+        }
+        remote_by_key = {}
+        for item in simulation.sessions:
+            remote_by_key[(item.local_router, str(item.remote_ip))] = item.remote_router
+            remote_by_key[(item.remote_router, str(item.local_ip))] = item.local_router
+        rows: List[BgpSessionRow] = []
+        for config in session.snapshot.configs.values():
+            if config.bgp is None:
+                continue
+            for neighbor in config.bgp.sorted_neighbors():
+                key = (config.hostname, str(neighbor.ip))
+                rows.append(
+                    BgpSessionRow(
+                        node=config.hostname,
+                        remote_node=remote_by_key.get(key),
+                        local_ip="",
+                        remote_ip=str(neighbor.ip),
+                        established=key in established,
+                    )
+                )
+        return rows
+
+    def routes(self, node: str) -> List[Dict[str, str]]:
+        """The converged BGP RIB of a node, as printable rows."""
+        simulation = self._session.simulation()
+        rows = []
+        for prefix, entry in sorted(simulation.rib(node).items()):
+            rows.append(
+                {
+                    "node": node,
+                    "prefix": str(prefix),
+                    "as_path": str(entry.route.as_path),
+                    "communities": ", ".join(
+                        sorted(str(c) for c in entry.route.communities)
+                    ),
+                    "learned_from": entry.learned_from or "local",
+                    "origin": entry.origin_router,
+                }
+            )
+        return rows
+
+    def reachable(self, node: str, prefix: "Prefix | str") -> bool:
+        """Whether ``node`` has a converged route for ``prefix``."""
+        target = prefix if isinstance(prefix, Prefix) else Prefix.parse(prefix)
+        return self._session.simulation().has_route(node, target)

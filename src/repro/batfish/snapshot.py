@@ -1,0 +1,102 @@
+"""Snapshots: named bundles of configuration files.
+
+Mirrors Batfish's notion of a snapshot — a directory of config files
+that is parsed as a unit.  The Composer of COSYNTH (§2, Figure 3) "puts
+back the pieces ... in a folder for Batfish"; that folder is a
+:class:`Snapshot` here.  Vendor detection is textual: Junos configs are
+brace-structured, IOS configs are line-oriented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..cisco import parse_cisco
+from ..juniper import parse_juniper
+from ..netmodel.device import RouterConfig, Vendor
+from ..netmodel.diagnostics import ParseWarning
+
+__all__ = ["Snapshot", "detect_vendor"]
+
+
+def detect_vendor(text: str) -> Vendor:
+    """Guess the config dialect from its shape.
+
+    Junos statements end in ``;`` and open ``{`` blocks; IOS has neither.
+    """
+    brace_score = text.count("{") + text.count(";")
+    cisco_markers = sum(
+        text.count(marker)
+        for marker in ("router bgp", "route-map", "ip prefix-list", "interface ")
+    )
+    if brace_score > cisco_markers:
+        return Vendor.JUNIPER
+    return Vendor.CISCO
+
+
+@dataclass
+class Snapshot:
+    """A parsed set of configurations, keyed by file name."""
+
+    name: str = "snapshot"
+    texts: Dict[str, str] = field(default_factory=dict)
+    configs: Dict[str, RouterConfig] = field(default_factory=dict)
+    warnings: Dict[str, List[ParseWarning]] = field(default_factory=dict)
+
+    @classmethod
+    def from_texts(cls, texts: Dict[str, str], name: str = "snapshot") -> "Snapshot":
+        """Parse a mapping of ``filename -> config text``."""
+        snapshot = cls(name=name)
+        for filename, text in texts.items():
+            snapshot.add_file(filename, text)
+        return snapshot
+
+    @classmethod
+    def from_directory(cls, path: "Path | str", name: Optional[str] = None) -> "Snapshot":
+        """Parse every ``*.cfg``/``*.conf`` file in a directory."""
+        directory = Path(path)
+        texts: Dict[str, str] = {}
+        for pattern in ("*.cfg", "*.conf"):
+            for file_path in sorted(directory.glob(pattern)):
+                texts[file_path.name] = file_path.read_text()
+        return cls.from_texts(texts, name=name or directory.name)
+
+    def add_file(self, filename: str, text: str) -> RouterConfig:
+        """Parse and add (or replace) one config file."""
+        self.texts[filename] = text
+        vendor = detect_vendor(text)
+        if vendor is Vendor.JUNIPER:
+            result = parse_juniper(text, filename=filename)
+        else:
+            result = parse_cisco(text, filename=filename)
+        config = result.config
+        if not config.hostname:
+            config.hostname = Path(filename).stem
+        self.configs[filename] = config
+        self.warnings[filename] = list(result.warnings)
+        return config
+
+    def write_to(self, path: "Path | str") -> Path:
+        """Materialize the snapshot as a config folder on disk."""
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        for filename, text in self.texts.items():
+            (directory / filename).write_text(text)
+        return directory
+
+    def config_by_hostname(self, hostname: str) -> Optional[RouterConfig]:
+        for config in self.configs.values():
+            if config.hostname == hostname:
+                return config
+        return None
+
+    def all_warnings(self) -> List[ParseWarning]:
+        collected: List[ParseWarning] = []
+        for filename in sorted(self.warnings):
+            collected.extend(self.warnings[filename])
+        return collected
+
+    def hostnames(self) -> List[str]:
+        return sorted(config.hostname for config in self.configs.values())

@@ -1,0 +1,35 @@
+"""Campion substitute: semantic diffing of two router configurations.
+
+Implements the three semantic error classes of §3.1 — structural
+mismatches, attribute differences, and policy behaviour differences
+(with example prefixes) — over the vendor-neutral IR.
+"""
+
+from .attributes import find_attribute_differences
+from .correspond import InterfacePair, junos_style_name, pair_interfaces
+from .differ import compare_configs
+from .findings import (
+    AttributeDifference,
+    CampionReport,
+    FindingSide,
+    PolicyBehaviorFinding,
+    StructuralMismatch,
+)
+from .policy import find_policy_differences, find_redistribution_differences
+from .structure import find_structural_mismatches
+
+__all__ = [
+    "AttributeDifference",
+    "CampionReport",
+    "FindingSide",
+    "InterfacePair",
+    "PolicyBehaviorFinding",
+    "StructuralMismatch",
+    "compare_configs",
+    "find_attribute_differences",
+    "find_policy_differences",
+    "find_redistribution_differences",
+    "find_structural_mismatches",
+    "junos_style_name",
+    "pair_interfaces",
+]

@@ -1,0 +1,149 @@
+"""Attribute-difference detection (§3.1, error class 3).
+
+"This is when a numerical attribute has a different value between the
+two configurations.  An example is OSPF link cost difference between two
+corresponding interfaces."  Campion reports the attribute values on both
+corresponding components.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netmodel.device import RouterConfig
+from ..netmodel.interfaces import Interface
+from .correspond import InterfacePair, pair_interfaces
+from .findings import AttributeDifference
+
+__all__ = ["find_attribute_differences"]
+
+
+def find_attribute_differences(
+    original: RouterConfig, translated: RouterConfig
+) -> List[AttributeDifference]:
+    findings: List[AttributeDifference] = []
+    pairs, _, _ = pair_interfaces(original, translated)
+    for pair in pairs:
+        findings.extend(_interface_differences(original, translated, pair))
+    findings.extend(_bgp_differences(original, translated))
+    return findings
+
+
+def _interface_differences(
+    original: RouterConfig, translated: RouterConfig, pair: InterfacePair
+) -> List[AttributeDifference]:
+    findings = []
+    left, right = pair.original, pair.translated
+    if left.address != right.address:
+        findings.append(
+            _difference(pair, "interface", "ip address", left.address, right.address)
+        )
+    if _ospf_cost(left) != _ospf_cost(right):
+        findings.append(
+            _difference(
+                pair, "OSPF link", "cost", _ospf_cost(left), _ospf_cost(right)
+            )
+        )
+    left_passive = _is_passive(original, left)
+    right_passive = _is_passive(translated, right)
+    if left_passive != right_passive:
+        findings.append(
+            _difference(
+                pair,
+                "OSPF link",
+                "passive interface",
+                left_passive,
+                right_passive,
+            )
+        )
+    return findings
+
+
+def _ospf_cost(interface: Interface) -> int:
+    """Explicit cost or the vendor-default cost.
+
+    Both vendors default loopbacks to 0-cost stub semantics; a mismatch
+    between an explicit value and the default is exactly Table 2's
+    "Different OSPF link cost" (cost 1 vs cost 0).
+    """
+    if interface.ospf_cost is not None:
+        return interface.ospf_cost
+    return 0 if interface.is_loopback() else 1
+
+
+def _is_passive(config: RouterConfig, interface: Interface) -> bool:
+    if interface.ospf_passive:
+        return True
+    if config.ospf is None:
+        return False
+    return config.ospf.is_passive(interface.name) or config.ospf.is_passive(
+        f"{interface.name}.{interface.unit}"
+    )
+
+
+def _bgp_differences(
+    original: RouterConfig, translated: RouterConfig
+) -> List[AttributeDifference]:
+    findings: List[AttributeDifference] = []
+    if original.bgp is None or translated.bgp is None:
+        return findings
+    if original.bgp.asn != translated.bgp.asn and translated.bgp.asn:
+        findings.append(
+            AttributeDifference(
+                component="BGP process",
+                original_name=f"AS {original.bgp.asn}",
+                translated_name=f"AS {translated.bgp.asn}",
+                attribute="autonomous system number",
+                original_value=str(original.bgp.asn),
+                translated_value=str(translated.bgp.asn),
+            )
+        )
+    if (
+        original.bgp.router_id is not None
+        and translated.bgp.router_id is not None
+        and original.bgp.router_id != translated.bgp.router_id
+    ):
+        findings.append(
+            AttributeDifference(
+                component="BGP process",
+                original_name="router-id",
+                translated_name="router-id",
+                attribute="router id",
+                original_value=str(original.bgp.router_id),
+                translated_value=str(translated.bgp.router_id),
+            )
+        )
+    for ip in sorted(set(original.bgp.neighbors) & set(translated.bgp.neighbors)):
+        left = original.bgp.neighbors[ip]
+        right = translated.bgp.neighbors[ip]
+        if left.remote_as != right.remote_as:
+            findings.append(
+                AttributeDifference(
+                    component="bgp neighbor",
+                    original_name=ip,
+                    translated_name=ip,
+                    attribute="remote AS",
+                    original_value=str(left.remote_as),
+                    translated_value=str(right.remote_as),
+                )
+            )
+    return findings
+
+
+def _difference(
+    pair: InterfacePair,
+    component: str,
+    attribute: str,
+    original_value: object,
+    translated_value: object,
+) -> AttributeDifference:
+    return AttributeDifference(
+        component=component,
+        original_name=pair.original.name,
+        translated_name=f"{pair.translated.name}.{pair.translated.unit}"
+        if "." not in pair.translated.name
+        else pair.translated.name,
+        attribute=attribute,
+        original_value=str(original_value),
+        translated_value=str(translated_value),
+    )

@@ -1,0 +1,83 @@
+"""Cross-vendor component correspondence.
+
+Cisco and Juniper name things differently (``Loopback0`` vs ``lo0.0``),
+so before diffing, Campion must decide which interface/neighbor on one
+side corresponds to which on the other.  Interfaces correspond when
+their addresses match (falling back to normalized-name heuristics);
+BGP neighbors correspond by peer address, which is vendor-neutral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netmodel.device import RouterConfig
+from ..netmodel.interfaces import Interface
+
+__all__ = ["InterfacePair", "pair_interfaces", "junos_style_name"]
+
+_NAME_PREFIX_MAP = {
+    "loopback": "lo",
+    "gigabitethernet": "ge-",
+    "tengigabitethernet": "xe-",
+    "ethernet": "et-",
+    "fastethernet": "fe-",
+}
+
+
+@dataclass(frozen=True)
+class InterfacePair:
+    """A matched (original, translated) interface pair."""
+
+    original: Interface
+    translated: Interface
+
+
+def junos_style_name(cisco_name: str) -> str:
+    """A best-effort Junos rendering of a Cisco interface name.
+
+    Used only for *reporting* (the differ pairs by address); e.g.
+    ``Loopback0`` → ``lo0.0``.
+    """
+    lowered = cisco_name.lower()
+    for cisco_prefix, junos_prefix in _NAME_PREFIX_MAP.items():
+        if lowered.startswith(cisco_prefix):
+            suffix = lowered[len(cisco_prefix):]
+            return f"{junos_prefix}{suffix}.0"
+    return cisco_name
+
+
+def pair_interfaces(
+    original: RouterConfig, translated: RouterConfig
+) -> Tuple[List[InterfacePair], List[Interface], List[Interface]]:
+    """Match interfaces by address; return (pairs, only-original,
+    only-translated)."""
+    pairs: List[InterfacePair] = []
+    unmatched_translated: Dict[str, Interface] = dict(translated.interfaces)
+    only_original: List[Interface] = []
+    for interface in original.sorted_interfaces():
+        match = _find_match(interface, unmatched_translated)
+        if match is not None:
+            pairs.append(InterfacePair(original=interface, translated=match))
+            unmatched_translated.pop(match.name)
+        else:
+            only_original.append(interface)
+    only_translated = [
+        unmatched_translated[name] for name in sorted(unmatched_translated)
+    ]
+    return pairs, only_original, only_translated
+
+
+def _find_match(
+    interface: Interface, candidates: Dict[str, Interface]
+) -> Optional[Interface]:
+    if interface.address is not None:
+        for candidate in candidates.values():
+            if candidate.address == interface.address:
+                return candidate
+    normalized = junos_style_name(interface.name)
+    for candidate in candidates.values():
+        if candidate.name in (interface.name, normalized, normalized.split(".")[0]):
+            return candidate
+    return None

@@ -1,0 +1,39 @@
+"""Top-level Campion comparison: original config vs translation.
+
+Runs the three semantic analyses in the order §3.1 prescribes (structure
+masks attributes which mask policy behaviour) and bundles the findings
+into a :class:`CampionReport` for the humanizer.
+"""
+
+from __future__ import annotations
+
+from ..netmodel.device import RouterConfig
+from .attributes import find_attribute_differences
+from .findings import CampionReport
+from .policy import find_policy_differences
+from .structure import find_structural_mismatches
+
+__all__ = ["compare_configs"]
+
+
+def compare_configs(
+    original: RouterConfig,
+    translated: RouterConfig,
+    stop_at_first_class: bool = True,
+) -> CampionReport:
+    """Compare two single-router configs.
+
+    With ``stop_at_first_class`` (the default, matching the paper's
+    verification discipline), attribute and policy analyses are skipped
+    while structural mismatches remain, because those coarser errors
+    "can mask attribute differences and policy behavior differences".
+    """
+    report = CampionReport()
+    report.structural = find_structural_mismatches(original, translated)
+    if report.structural and stop_at_first_class:
+        return report
+    report.attributes = find_attribute_differences(original, translated)
+    if report.attributes and stop_at_first_class:
+        return report
+    report.policies = find_policy_differences(original, translated)
+    return report

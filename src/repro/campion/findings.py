@@ -1,0 +1,164 @@
+"""Typed findings produced by the Campion substitute.
+
+Each finding class carries exactly the fields the paper's humanizer
+splices into its formulaic prompts (Table 1): what component, where, and
+the original-vs-translation values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netmodel.ip import Prefix
+from ..netmodel.routing_policy import Action
+
+__all__ = [
+    "AttributeDifference",
+    "CampionReport",
+    "FindingSide",
+    "PolicyBehaviorFinding",
+    "StructuralMismatch",
+]
+
+
+class FindingSide(enum.Enum):
+    """Which config a structurally mismatched item is present in."""
+
+    ORIGINAL = "original"
+    TRANSLATION = "translation"
+
+    @property
+    def other(self) -> "FindingSide":
+        if self is FindingSide.ORIGINAL:
+            return FindingSide.TRANSLATION
+        return FindingSide.ORIGINAL
+
+
+@dataclass(frozen=True)
+class StructuralMismatch:
+    """A component/connection/named policy present on only one side.
+
+    Example (Table 1): "In the original configuration, there is an import
+    route map for bgp neighbor 2.3.4.5, but in the translation, there is
+    no corresponding route map."
+    """
+
+    component: str  # e.g. "import route map", "bgp neighbor", "interface"
+    location: str  # e.g. "bgp neighbor 2.3.4.5", "" for top level
+    present_in: FindingSide
+    name: str = ""  # the item's own name, when it has one
+
+    def describe(self) -> str:
+        where = f" for {self.location}" if self.location else ""
+        named = f" {self.name}" if self.name else ""
+        return (
+            f"In the {self.present_in.value} configuration, there is "
+            f"{_article(self.component)} {self.component}{named}{where}, but in "
+            f"the {self.present_in.other.value}, there is no corresponding "
+            f"{self.component}"
+        )
+
+
+@dataclass(frozen=True)
+class AttributeDifference:
+    """A numerical/boolean attribute differing between counterparts.
+
+    Example (Table 1): "the OSPF link for Loopback0 has cost set to 1,
+    but in the translation, the corresponding link to lo0.0 has cost set
+    to 0."
+    """
+
+    component: str  # e.g. "OSPF link"
+    original_name: str  # e.g. "Loopback0"
+    translated_name: str  # e.g. "lo0.0"
+    attribute: str  # e.g. "cost", "passive"
+    original_value: str
+    translated_value: str
+
+    def describe(self) -> str:
+        return (
+            f"In the original configuration, the {self.component} for "
+            f"{self.original_name} has {self.attribute} set to "
+            f"{self.original_value}, but in the translation, the "
+            f"corresponding {self.component} for {self.translated_name} has "
+            f"{self.attribute} set to {self.translated_value}"
+        )
+
+
+@dataclass(frozen=True)
+class PolicyBehaviorFinding:
+    """A route-policy semantic difference with an example prefix.
+
+    Example (Table 1): "for the prefix 1.2.3.0/25, the BGP export policy
+    to_provider for BGP neighbor 2.3.4.5 performs the following action:
+    ACCEPT.  But, in the translation, the corresponding BGP export policy
+    to_provider performs the following action: REJECT."
+    """
+
+    policy_name: str
+    direction: str  # "import" | "export"
+    neighbor: str
+    example_prefix: Prefix
+    original_action: Action
+    translated_action: Action
+    transform_detail: str = ""
+
+    def describe(self) -> str:
+        if self.transform_detail:
+            return (
+                f"In the original configuration, for the prefix "
+                f"{self.example_prefix}, the BGP {self.direction} policy "
+                f"{self.policy_name} for BGP neighbor {self.neighbor} accepts "
+                f"the route, and so does the translation, but the attribute "
+                f"transformations differ: {self.transform_detail}"
+            )
+        original = "ACCEPT" if self.original_action is Action.PERMIT else "REJECT"
+        translated = (
+            "ACCEPT" if self.translated_action is Action.PERMIT else "REJECT"
+        )
+        return (
+            f"In the original configuration, for the prefix "
+            f"{self.example_prefix}, the BGP {self.direction} policy "
+            f"{self.policy_name} for BGP neighbor {self.neighbor} performs "
+            f"the following action: {original}. But, in the translation, "
+            f"the corresponding BGP {self.direction} policy "
+            f"{self.policy_name} performs the following action: {translated}"
+        )
+
+
+@dataclass
+class CampionReport:
+    """All findings from one comparison run, in verification order.
+
+    Structural mismatches come first because — as §3.1 notes — they
+    "have to be handled earlier since they can mask attribute differences
+    and policy behavior differences".
+    """
+
+    structural: List[StructuralMismatch] = field(default_factory=list)
+    attributes: List[AttributeDifference] = field(default_factory=list)
+    policies: List[PolicyBehaviorFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.structural or self.attributes or self.policies)
+
+    def all_findings(self) -> List[object]:
+        return [*self.structural, *self.attributes, *self.policies]
+
+    def first_finding(self) -> Optional[object]:
+        findings = self.all_findings()
+        return findings[0] if findings else None
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.structural)} structural mismatch(es), "
+            f"{len(self.attributes)} attribute difference(s), "
+            f"{len(self.policies)} policy behavior difference(s)"
+        )
+
+
+def _article(noun: str) -> str:
+    return "an" if noun[:1].lower() in "aeiou" else "a"

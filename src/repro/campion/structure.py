@@ -1,0 +1,180 @@
+"""Structural-mismatch detection (§3.1, error class 2).
+
+A structural mismatch is "a component, connection, or named policy
+present in the original configuration but not in the translation (or
+present in the translation but not the original)": interfaces, BGP
+neighbors, per-neighbor import/export policy attachments, OSPF
+processes, and dangling policy references.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netmodel.device import RouterConfig
+from .correspond import pair_interfaces
+from .findings import FindingSide, StructuralMismatch
+
+__all__ = ["find_structural_mismatches"]
+
+
+def find_structural_mismatches(
+    original: RouterConfig, translated: RouterConfig
+) -> List[StructuralMismatch]:
+    findings: List[StructuralMismatch] = []
+    findings.extend(_interface_mismatches(original, translated))
+    findings.extend(_bgp_mismatches(original, translated))
+    findings.extend(_ospf_mismatches(original, translated))
+    findings.extend(_dangling_references(translated))
+    return findings
+
+
+def _interface_mismatches(
+    original: RouterConfig, translated: RouterConfig
+) -> List[StructuralMismatch]:
+    _, only_original, only_translated = pair_interfaces(original, translated)
+    findings = []
+    for interface in only_original:
+        findings.append(
+            StructuralMismatch(
+                component="interface",
+                location="",
+                present_in=FindingSide.ORIGINAL,
+                name=interface.name,
+            )
+        )
+    for interface in only_translated:
+        findings.append(
+            StructuralMismatch(
+                component="interface",
+                location="",
+                present_in=FindingSide.TRANSLATION,
+                name=interface.name,
+            )
+        )
+    return findings
+
+
+def _bgp_mismatches(
+    original: RouterConfig, translated: RouterConfig
+) -> List[StructuralMismatch]:
+    findings: List[StructuralMismatch] = []
+    original_neighbors = (
+        dict(original.bgp.neighbors) if original.bgp is not None else {}
+    )
+    translated_neighbors = (
+        dict(translated.bgp.neighbors) if translated.bgp is not None else {}
+    )
+    if original.bgp is not None and translated.bgp is None:
+        findings.append(
+            StructuralMismatch(
+                component="BGP process",
+                location="",
+                present_in=FindingSide.ORIGINAL,
+            )
+        )
+        return findings
+    if translated.bgp is not None and original.bgp is None:
+        findings.append(
+            StructuralMismatch(
+                component="BGP process",
+                location="",
+                present_in=FindingSide.TRANSLATION,
+            )
+        )
+        return findings
+    for ip in sorted(set(original_neighbors) | set(translated_neighbors)):
+        in_original = ip in original_neighbors
+        in_translated = ip in translated_neighbors
+        if in_original and not in_translated:
+            findings.append(
+                StructuralMismatch(
+                    component="bgp neighbor",
+                    location="",
+                    present_in=FindingSide.ORIGINAL,
+                    name=ip,
+                )
+            )
+            continue
+        if in_translated and not in_original:
+            findings.append(
+                StructuralMismatch(
+                    component="bgp neighbor",
+                    location="",
+                    present_in=FindingSide.TRANSLATION,
+                    name=ip,
+                )
+            )
+            continue
+        findings.extend(
+            _policy_attachment_mismatches(
+                ip, original_neighbors[ip], translated_neighbors[ip]
+            )
+        )
+    return findings
+
+
+def _policy_attachment_mismatches(
+    ip: str, original_neighbor, translated_neighbor
+) -> List[StructuralMismatch]:
+    """Per-neighbor import/export route-map presence (the Table 1 case)."""
+    findings = []
+    for direction in ("import", "export"):
+        original_policy = getattr(original_neighbor, f"{direction}_policy")
+        translated_policy = getattr(translated_neighbor, f"{direction}_policy")
+        if original_policy is not None and translated_policy is None:
+            findings.append(
+                StructuralMismatch(
+                    component=f"{direction} route map",
+                    location=f"bgp neighbor {ip}",
+                    present_in=FindingSide.ORIGINAL,
+                )
+            )
+        elif translated_policy is not None and original_policy is None:
+            findings.append(
+                StructuralMismatch(
+                    component=f"{direction} route map",
+                    location=f"bgp neighbor {ip}",
+                    present_in=FindingSide.TRANSLATION,
+                )
+            )
+    return findings
+
+
+def _ospf_mismatches(
+    original: RouterConfig, translated: RouterConfig
+) -> List[StructuralMismatch]:
+    findings = []
+    if original.ospf is not None and translated.ospf is None:
+        findings.append(
+            StructuralMismatch(
+                component="OSPF process",
+                location="",
+                present_in=FindingSide.ORIGINAL,
+            )
+        )
+    elif translated.ospf is not None and original.ospf is None:
+        findings.append(
+            StructuralMismatch(
+                component="OSPF process",
+                location="",
+                present_in=FindingSide.TRANSLATION,
+            )
+        )
+    return findings
+
+
+def _dangling_references(translated: RouterConfig) -> List[StructuralMismatch]:
+    """Policies attached on the translation but never defined there."""
+    findings = []
+    for reference in translated.undefined_references():
+        kind, _, name = reference.partition(" ")
+        findings.append(
+            StructuralMismatch(
+                component=f"definition of the referenced {kind}",
+                location="",
+                present_in=FindingSide.ORIGINAL,
+                name=name,
+            )
+        )
+    return findings

@@ -1,0 +1,13 @@
+"""Cisco IOS dialect: parser and generator over the shared IR."""
+
+from .generator import generate_cisco
+from .lexer import ConfigLine, tokenize
+from .parser import CiscoParseResult, parse_cisco
+
+__all__ = [
+    "CiscoParseResult",
+    "ConfigLine",
+    "generate_cisco",
+    "parse_cisco",
+    "tokenize",
+]

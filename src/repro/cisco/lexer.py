@@ -1,0 +1,78 @@
+"""Line tokenization for Cisco IOS configurations.
+
+IOS configs are line-oriented with indentation indicating block
+membership.  The lexer turns raw text into :class:`ConfigLine` records
+(number, indent, tokens) and filters comments, leaving block structure
+to the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["ConfigLine", "tokenize"]
+
+
+@dataclass(frozen=True)
+class ConfigLine:
+    """One meaningful line of an IOS config."""
+
+    number: int
+    indent: int
+    text: str
+    tokens: Tuple[str, ...]
+
+    @property
+    def keyword(self) -> str:
+        """The first token, lower-cased (IOS keywords are case-insensitive)."""
+        return self.tokens[0].lower() if self.tokens else ""
+
+    def starts_with(self, *words: str) -> bool:
+        """True if the line's leading tokens equal ``words`` (case-insensitive)."""
+        if len(self.tokens) < len(words):
+            return False
+        return all(
+            token.lower() == word.lower()
+            for token, word in zip(self.tokens, words)
+        )
+
+
+def tokenize(text: str) -> List[ConfigLine]:
+    """Split config text into :class:`ConfigLine` records.
+
+    Blank lines, ``!`` separators, and ``#`` comments are dropped.
+    """
+    lines: List[ConfigLine] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("!") or stripped.startswith("#"):
+            continue
+        indent = len(raw) - len(raw.lstrip(" "))
+        lines.append(
+            ConfigLine(
+                number=number,
+                indent=indent,
+                text=stripped,
+                tokens=tuple(stripped.split()),
+            )
+        )
+    return lines
+
+
+def iter_blocks(lines: List[ConfigLine]) -> Iterator[Tuple[ConfigLine, List[ConfigLine]]]:
+    """Yield (header, children) pairs using indentation for nesting.
+
+    A line at indent 0 is a header; subsequent lines with greater indent
+    are its children.  IOS emits one level of nesting for the blocks the
+    experiments use (interface, router, route-map stanzas).
+    """
+    index = 0
+    while index < len(lines):
+        header = lines[index]
+        index += 1
+        children: List[ConfigLine] = []
+        while index < len(lines) and lines[index].indent > header.indent:
+            children.append(lines[index])
+            index += 1
+        yield header, children

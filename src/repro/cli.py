@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    tables        regenerate every paper table/figure and print them
+    translate     run the §3 translation loop and print the summary
+    synthesize    run the §4 no-transit loop and print the summary
+    incremental   run the §6 incremental-policy extension
+    sweep         leverage statistics across seeds
+
+All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
+``--routers`` (default 7) and ``--no-iips``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COSYNTH: Verified Prompt Programming reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tables = subparsers.add_parser("tables", help="print every paper artifact")
+    tables.add_argument("--seed", type=int, default=0)
+
+    translate = subparsers.add_parser("translate", help="run the translation loop")
+    translate.add_argument("--seed", type=int, default=0)
+    translate.add_argument(
+        "--show-config", action="store_true", help="print the final Junos config"
+    )
+
+    synthesize = subparsers.add_parser("synthesize", help="run no-transit synthesis")
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.add_argument("--routers", type=int, default=7)
+    synthesize.add_argument(
+        "--no-iips", action="store_true", help="disable the IIP database"
+    )
+
+    incremental = subparsers.add_parser(
+        "incremental", help="incremental policy addition (paper §6)"
+    )
+    incremental.add_argument("--seed", type=int, default=0)
+    incremental.add_argument(
+        "--no-recheck",
+        action="store_true",
+        help="skip re-verifying the old invariants (negative control)",
+    )
+
+    sweep = subparsers.add_parser("sweep", help="leverage across seeds")
+    sweep.add_argument("--seeds", type=int, default=5)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "tables": _cmd_tables,
+        "translate": _cmd_translate,
+        "synthesize": _cmd_synthesize,
+        "incremental": _cmd_incremental,
+        "sweep": _cmd_sweep,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments.tables import (
+        render_figure4,
+        render_leverage_no_transit,
+        render_leverage_translation,
+        render_local_vs_global,
+        render_scaling,
+        render_table1,
+        render_table2,
+        render_table3,
+        render_vpp_ablation,
+    )
+
+    for renderer in (
+        render_table1,
+        render_table2,
+        render_leverage_translation,
+        render_table3,
+        render_leverage_no_transit,
+        render_vpp_ablation,
+        render_local_vs_global,
+        render_scaling,
+    ):
+        print(renderer(seed=args.seed))
+        print()
+    print(render_figure4())
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from .experiments import run_translation_experiment
+
+    experiment = run_translation_experiment(seed=args.seed)
+    print(experiment.result.prompt_log.summary())
+    for row in experiment.table2_rows():
+        print("  " + row.render())
+    if args.show_config:
+        print()
+        print(experiment.result.final_text)
+    return 0 if experiment.result.verified else 1
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from .core import DEFAULT_IIP_IDS
+    from .experiments import run_no_transit_experiment
+
+    experiment = run_no_transit_experiment(
+        router_count=args.routers,
+        seed=args.seed,
+        iip_ids=() if args.no_iips else DEFAULT_IIP_IDS,
+    )
+    print(experiment.result.prompt_log.summary())
+    print(experiment.result.global_check.describe())
+    return 0 if experiment.result.verified else 1
+
+
+def _cmd_incremental(args: argparse.Namespace) -> int:
+    from .experiments import run_incremental_policy_experiment
+
+    result = run_incremental_policy_experiment(
+        seed=args.seed, recheck_old_invariants=not args.no_recheck
+    )
+    print(result.render())
+    return 0 if result.verified else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import statistics
+
+    from .experiments import (
+        run_no_transit_experiment,
+        run_translation_experiment,
+    )
+
+    translation, synthesis = [], []
+    for seed in range(args.seeds):
+        translation.append(run_translation_experiment(seed=seed))
+        synthesis.append(run_no_transit_experiment(seed=seed))
+        print(
+            f"seed={seed}: translation "
+            f"{translation[-1].leverage:.1f}X, synthesis "
+            f"{synthesis[-1].leverage:.1f}X"
+        )
+    print(
+        f"mean: translation "
+        f"{statistics.mean(t.leverage for t in translation):.1f}X "
+        f"(paper ~10X), synthesis "
+        f"{statistics.mean(s.leverage for s in synthesis):.1f}X (paper 6X)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

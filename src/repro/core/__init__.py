@@ -1,0 +1,42 @@
+"""COSYNTH core: the Verified Prompt Programming machinery.
+
+Humanizer, IIP database, Modularizer, Composer, leverage accounting,
+session transcripts, the scripted human, and the two orchestrators.
+"""
+
+from .composer import Composer
+from .human import HumanAgent, ScriptedHuman
+from .humanizer import Humanizer, finding_from_warning
+from .iip import DEFAULT_IIP_IDS, IIPDatabase, InitialInstructionPrompt
+from .leverage import PromptKind, PromptLog, PromptRecord
+from .modularizer import Modularizer
+from .orchestrator import (
+    LoopLimits,
+    SynthesisOrchestrator,
+    SynthesisRunResult,
+    TranslationOrchestrator,
+    TranslationRunResult,
+)
+from .transcript import SessionTranscript, TranscriptEvent
+
+__all__ = [
+    "Composer",
+    "DEFAULT_IIP_IDS",
+    "HumanAgent",
+    "Humanizer",
+    "IIPDatabase",
+    "InitialInstructionPrompt",
+    "LoopLimits",
+    "Modularizer",
+    "PromptKind",
+    "PromptLog",
+    "PromptRecord",
+    "ScriptedHuman",
+    "SessionTranscript",
+    "SynthesisOrchestrator",
+    "SynthesisRunResult",
+    "TranscriptEvent",
+    "TranslationOrchestrator",
+    "TranslationRunResult",
+    "finding_from_warning",
+]

@@ -1,0 +1,40 @@
+"""The Composer (§2, Figure 3).
+
+"The Composer puts back the pieces (in our case in a folder for
+Batfish)."  It collects the per-router config texts produced by the
+per-router chats into a :class:`~repro.batfish.snapshot.Snapshot` and
+can materialize that snapshot as an on-disk folder.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..batfish.snapshot import Snapshot
+
+__all__ = ["Composer"]
+
+
+class Composer:
+    """Accumulates per-router configs into a Batfish-ready snapshot."""
+
+    def __init__(self, name: str = "composed") -> None:
+        self._name = name
+        self._texts: Dict[str, str] = {}
+
+    def put(self, router_name: str, config_text: str) -> None:
+        """Add or replace one router's configuration."""
+        self._texts[f"{router_name}.cfg"] = config_text
+
+    def routers(self) -> list:
+        return sorted(name[: -len(".cfg")] for name in self._texts)
+
+    def compose(self) -> Snapshot:
+        """Parse the accumulated configs as one snapshot."""
+        return Snapshot.from_texts(dict(self._texts), name=self._name)
+
+    def write_to(self, path: "Path | str") -> Path:
+        """Materialize the snapshot folder (what the paper hands to
+        Batfish)."""
+        return self.compose().write_to(path)

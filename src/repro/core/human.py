@@ -1,0 +1,63 @@
+"""The human side of the slow loop.
+
+When COSYNTH abandons automatic correction (Figure 2: "V may abandon
+automatic correction after some number of trials, and the human must
+still correct manually"), the orchestrator asks a :class:`HumanAgent`
+for a prompt.  Experiments use :class:`ScriptedHuman`, which plays the
+role of the paper's authors: an expert who inspects the stuck finding
+and issues the documented targeted prompt (e.g. "add 'from bgp'
+conditions", "declare each match statement in a separate stanza").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from ..errors import Finding
+from ..llm.faults import Fault
+from ..llm.simulated import SimulatedGPT4
+
+__all__ = ["HumanAgent", "ScriptedHuman"]
+
+
+class HumanAgent(Protocol):
+    """Anything that can produce a manual correction prompt."""
+
+    def respond(self, finding: Finding, prompt_text: str) -> str:
+        """Given the stuck finding (and the generated prompt that failed),
+        return the manual prompt to send."""
+        ...
+
+
+class ScriptedHuman:
+    """An expert driven by the fault catalog.
+
+    The scripted human matches the failed generated prompt against the
+    catalog's signatures — the same diagnosis a real expert performs by
+    reading the verifier output — and answers with that fault's
+    documented targeted prompt.  Unknown problems get a generic but
+    manual restatement (which still counts as human effort).
+    """
+
+    def __init__(self, catalog: Dict[str, Fault]) -> None:
+        self._catalog = catalog
+        self.responses: list = []
+
+    def respond(self, finding: Finding, prompt_text: str) -> str:
+        response = self._lookup(prompt_text) or (
+            f"This problem persists: {finding.message}. Please fix it "
+            f"explicitly and print the entire corrected configuration."
+        )
+        self.responses.append((finding, response))
+        return response
+
+    def _lookup(self, prompt_text: str) -> Optional[str]:
+        for fault in self._catalog.values():
+            if fault.human_prompt and fault.matches_generated(prompt_text):
+                return fault.human_prompt
+        return None
+
+    @classmethod
+    def for_model(cls, model: SimulatedGPT4) -> "ScriptedHuman":
+        """Build a human whose expertise matches the model's task."""
+        return cls(model._catalog)  # noqa: SLF001 - white-box by design

@@ -1,0 +1,72 @@
+"""The humanizer: verifier findings → natural-language prompts.
+
+§1: "Since verifier feedback is often cryptic, we use simple code that
+we call a humanizer that converts the feedback to natural language
+prompts that are given to GPT-4."  Each error category has a formulaic
+template (the non-italicized text of Tables 1 and 3) into which the
+finding's fields (the italicized text) are spliced.
+"""
+
+from __future__ import annotations
+
+from ..errors import ErrorCategory, Finding
+from ..netmodel.diagnostics import ParseWarning
+
+__all__ = ["Humanizer", "finding_from_warning"]
+
+_REPRINT = "Print the entire corrected configuration."
+
+
+class Humanizer:
+    """Stateless formatter from findings to correction prompts."""
+
+    def humanize(self, finding: Finding) -> str:
+        """Render one finding as a correction prompt."""
+        handler = {
+            ErrorCategory.SYNTAX: self._syntax,
+            ErrorCategory.STRUCTURAL: self._pass_through,
+            ErrorCategory.ATTRIBUTE: self._pass_through,
+            ErrorCategory.POLICY: self._pass_through,
+            ErrorCategory.TOPOLOGY: self._topology,
+            ErrorCategory.SEMANTIC: self._semantic,
+        }[finding.category]
+        return handler(finding)
+
+    def _syntax(self, finding: Finding) -> str:
+        detail = finding.detail
+        if isinstance(detail, ParseWarning):
+            # Table 1: "There is a syntax error: '<line>'" — Batfish's
+            # comment is appended because it is sometimes (not always)
+            # actionable.
+            return (
+                f"There is a syntax error: '{detail.text}'. "
+                f"{detail.comment}. Fix this line. {_REPRINT}"
+            )
+        return f"There is a syntax error: {finding.message}. {_REPRINT}"
+
+    def _pass_through(self, finding: Finding) -> str:
+        # Campion findings are already phrased in Table 1's formula by
+        # their describe() methods.
+        return f"{finding.message}. Please fix the translation. {_REPRINT}"
+
+    def _topology(self, finding: Finding) -> str:
+        return (
+            f"{finding.message}. Fix the configuration so it matches the "
+            f"given topology. {_REPRINT}"
+        )
+
+    def _semantic(self, finding: Finding) -> str:
+        return (
+            f"{finding.message} Fix the routing policy so the local policy "
+            f"holds. {_REPRINT}"
+        )
+
+
+def finding_from_warning(warning: ParseWarning, router: str = "") -> Finding:
+    """Wrap a parse warning as a syntax finding."""
+    return Finding(
+        category=ErrorCategory.SYNTAX,
+        message=f"{warning.comment}: '{warning.text}'",
+        router=router,
+        detail=warning,
+    )

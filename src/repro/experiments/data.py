@@ -1,0 +1,10 @@
+"""Bundled configurations (re-exported from :mod:`repro.sampleconfigs`).
+
+Kept as a thin alias so experiment code reads naturally; the data lives
+at top level to keep the llm -> experiments dependency edge out of the
+import graph.
+"""
+
+from ..sampleconfigs import BATFISH_EXAMPLE_CISCO, load_translation_source
+
+__all__ = ["BATFISH_EXAMPLE_CISCO", "load_translation_source"]

@@ -1,0 +1,107 @@
+"""Experiment driver for use case 2: no-transit local synthesis (§4).
+
+Regenerates the §4.2 leverage measurement (≈12 automated vs 2 human →
+~6X) on the 7-router star of Figure 4, and supports arbitrary star
+sizes for the scaling extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import (
+    DEFAULT_IIP_IDS,
+    LoopLimits,
+    ScriptedHuman,
+    SynthesisOrchestrator,
+    SynthesisRunResult,
+)
+from ..llm import (
+    BehaviorProfile,
+    SimulatedGPT4,
+    make_synthesis_models,
+    synthesis_fault_catalog,
+)
+from ..topology import StarNetwork, generate_star_network
+
+__all__ = ["NoTransitExperiment", "run_no_transit_experiment"]
+
+DEFAULT_ROUTER_COUNT = 7  # Figure 4's star
+
+
+@dataclass
+class NoTransitExperiment:
+    """A completed synthesis run plus the per-router models."""
+
+    result: SynthesisRunResult
+    models: Dict[str, SimulatedGPT4]
+    star: StarNetwork
+    seed: int
+    iip_ids: Sequence[str]
+
+    @property
+    def leverage(self) -> float:
+        return self.result.leverage
+
+    @property
+    def automated_prompts(self) -> int:
+        return self.result.prompt_log.automated
+
+    @property
+    def human_prompts(self) -> int:
+        return self.result.prompt_log.human
+
+    def resolutions(self) -> List[tuple]:
+        """(router, fault_key, how) across all per-router chats."""
+        rows = []
+        for name in sorted(self.models):
+            for key, how in self.models[name].resolution_log:
+                rows.append((name, key, how))
+        return rows
+
+    def initial_draft_fault_counts(self) -> Dict[str, int]:
+        """How many faults each router's first draft carried (before any
+        correction) — reconstructed from resolutions plus leftovers."""
+        counts: Dict[str, int] = {}
+        for name, model in self.models.items():
+            resolved = {key for key, _ in model.resolution_log}
+            counts[name] = len(resolved | set(model.active_fault_keys()))
+        return counts
+
+
+def run_no_transit_experiment(
+    router_count: int = DEFAULT_ROUTER_COUNT,
+    seed: int = 0,
+    iip_ids: Sequence[str] = DEFAULT_IIP_IDS,
+    profile: Optional[BehaviorProfile] = None,
+    limits: Optional[LoopLimits] = None,
+    pair_programming: bool = False,
+    assignment: Optional[Dict[str, List[str]]] = None,
+) -> NoTransitExperiment:
+    """Run the full §4 loop once and return everything measured."""
+    star = generate_star_network(router_count)
+    models = make_synthesis_models(
+        star.topology,
+        iip_ids=iip_ids,
+        seed=seed,
+        profile=profile,
+        assignment=assignment,
+    )
+    human = ScriptedHuman(synthesis_fault_catalog(star.topology))
+    orchestrator = SynthesisOrchestrator(
+        star.topology,
+        models,
+        human=human,
+        limits=limits,
+        iip_ids=iip_ids,
+        pair_programming=pair_programming,
+    )
+    result = orchestrator.run()
+    return NoTransitExperiment(
+        result=result,
+        models=models,
+        star=star,
+        seed=seed,
+        iip_ids=list(iip_ids),
+    )

@@ -1,0 +1,383 @@
+"""Junos configuration generator (vendor-neutral IR → text).
+
+Produces the reference rendering that the simulated GPT-4 perturbs.
+Communities used in ``set community`` actions are emitted as named
+``policy-options community`` definitions, synthesizing names when the IR
+has no matching named list (Junos cannot set a literal community).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netmodel.communities import Community
+from ..netmodel.device import RouterConfig
+from ..netmodel.ip import PrefixRange
+from ..netmodel.routing_policy import (
+    Action,
+    MatchAsPathList,
+    MatchCommunityInline,
+    MatchCommunityList,
+    MatchPrefixList,
+    MatchPrefixRanges,
+    MatchProtocol,
+    RouteMap,
+    RouteMapClause,
+    SetAsPathPrepend,
+    SetCommunity,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+)
+
+__all__ = ["generate_juniper"]
+
+_INDENT = "    "
+
+
+def generate_juniper(config: RouterConfig) -> str:
+    """Render a :class:`RouterConfig` as a Junos configuration file."""
+    writer = _Writer()
+    community_names = _CommunityNamer(config)
+    if config.hostname:
+        with writer.block("system"):
+            writer.leaf(f"host-name {config.hostname}")
+    if config.interfaces:
+        with writer.block("interfaces"):
+            for interface in config.sorted_interfaces():
+                _render_interface(writer, interface)
+    _render_routing_options(writer, config)
+    _render_protocols(writer, config)
+    _render_policy_options(writer, config, community_names)
+    return writer.render()
+
+
+class _Writer:
+    """Tiny indented block writer for Junos syntax."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._depth = 0
+
+    def leaf(self, text: str) -> None:
+        self._lines.append(f"{_INDENT * self._depth}{text};")
+
+    def raw(self, text: str) -> None:
+        self._lines.append(f"{_INDENT * self._depth}{text}")
+
+    def block(self, header: str) -> "_Block":
+        return _Block(self, header)
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: _Writer, header: str) -> None:
+        self._writer = writer
+        self._header = header
+
+    def __enter__(self) -> _Writer:
+        self._writer.raw(f"{self._header} {{")
+        self._writer._depth += 1
+        return self._writer
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._writer._depth -= 1
+        self._writer.raw("}")
+
+
+class _CommunityNamer:
+    """Maps community tuples to Junos named communities.
+
+    Prefers names already defined in the IR's community lists; invents
+    ``COMM_<asn>_<value>`` style names otherwise.
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        self._by_members: Dict[Tuple[Community, ...], str] = {}
+        for name, community_list in config.community_lists.items():
+            members = tuple(sorted(community_list.permitted_communities()))
+            if members and members not in self._by_members:
+                self._by_members[members] = name
+        self._synthesized: Dict[Tuple[Community, ...], str] = {}
+
+    def name_for(self, communities: Tuple[Community, ...]) -> str:
+        key = tuple(sorted(communities))
+        if key in self._by_members:
+            return self._by_members[key]
+        if key not in self._synthesized:
+            label = "_".join(f"{c.asn}_{c.value}" for c in key)
+            self._synthesized[key] = f"COMM_{label}"
+        return self._synthesized[key]
+
+    def definitions(self) -> List[Tuple[str, Tuple[Community, ...]]]:
+        """Only names invented by the generator (existing ones are rendered
+        from the config's own community lists)."""
+        return sorted(
+            ((name, members) for members, name in self._synthesized.items()),
+            key=lambda item: item[0],
+        )
+
+
+def _render_interface(writer: _Writer, interface) -> None:
+    with writer.block(interface.name):
+        if interface.description:
+            writer.leaf(f"description {interface.description}")
+        with writer.block(f"unit {interface.unit}"):
+            with writer.block("family inet"):
+                if interface.address is not None and interface.prefix is not None:
+                    writer.leaf(
+                        f"address {interface.address}/{interface.prefix.length}"
+                    )
+
+
+def _render_routing_options(writer: _Writer, config: RouterConfig) -> None:
+    bgp = config.bgp
+    if bgp is None:
+        return
+    with writer.block("routing-options"):
+        if bgp.router_id is not None:
+            writer.leaf(f"router-id {bgp.router_id}")
+        if bgp.asn:
+            writer.leaf(f"autonomous-system {bgp.asn}")
+
+
+def _render_protocols(writer: _Writer, config: RouterConfig) -> None:
+    if config.bgp is None and config.ospf is None:
+        return
+    with writer.block("protocols"):
+        if config.bgp is not None:
+            _render_bgp(writer, config)
+        if config.ospf is not None:
+            _render_ospf(writer, config)
+
+
+def _render_bgp(writer: _Writer, config: RouterConfig) -> None:
+    bgp = config.bgp
+    assert bgp is not None
+    with writer.block("bgp"):
+        for index, neighbor in enumerate(bgp.sorted_neighbors(), start=1):
+            group_name = neighbor.peer_group or f"peer-{index}"
+            with writer.block(f"group {group_name}"):
+                writer.leaf("type external")
+                with writer.block(f"neighbor {neighbor.ip}"):
+                    if neighbor.description:
+                        writer.leaf(f"description {neighbor.description}")
+                    writer.leaf(f"peer-as {neighbor.remote_as}")
+                    if neighbor.local_as is not None and neighbor.local_as != bgp.asn:
+                        writer.leaf(f"local-as {neighbor.local_as}")
+                    if neighbor.import_policy:
+                        writer.leaf(f"import {neighbor.import_policy}")
+                    if neighbor.export_policy:
+                        writer.leaf(f"export {neighbor.export_policy}")
+
+
+def _render_ospf(writer: _Writer, config: RouterConfig) -> None:
+    ospf = config.ospf
+    assert ospf is not None
+    areas: Dict[int, List[str]] = {}
+    for interface in config.sorted_interfaces():
+        area = interface.ospf_area
+        if area is None and interface.prefix is not None:
+            area = ospf.covers(interface.prefix)
+        if area is None:
+            continue
+        areas.setdefault(area, []).append(_junos_unit_name(interface))
+    for area, names in ospf.area_interfaces.items():
+        for name in names:
+            if name not in areas.setdefault(area, []):
+                areas[area].append(name)
+    if not areas:
+        return
+    with writer.block("ospf"):
+        for area in sorted(areas):
+            with writer.block(f"area {_area_string(area)}"):
+                for name in areas[area]:
+                    interface = _find_interface(config, name)
+                    attributes: List[str] = []
+                    if interface is not None and interface.ospf_cost is not None:
+                        attributes.append(f"metric {interface.ospf_cost}")
+                    passive = ospf.is_passive(name) or (
+                        interface is not None
+                        and (
+                            interface.ospf_passive
+                            or ospf.is_passive(interface.name)
+                        )
+                    )
+                    if passive:
+                        attributes.append("passive")
+                    if attributes:
+                        with writer.block(f"interface {name}"):
+                            for attribute in attributes:
+                                writer.leaf(attribute)
+                    else:
+                        writer.leaf(f"interface {name}")
+
+
+def _render_policy_options(
+    writer: _Writer, config: RouterConfig, community_names: _CommunityNamer
+) -> None:
+    has_content = (
+        config.prefix_lists or config.route_maps or config.community_lists
+    )
+    if not has_content:
+        return
+    # Pre-register every community used in a set action so synthesized
+    # names are defined before the policy statements reference them.
+    for route_map in config.route_maps.values():
+        for clause in route_map.clauses:
+            for set_action in clause.sets:
+                if isinstance(set_action, SetCommunity) and set_action.communities:
+                    community_names.name_for(set_action.communities)
+    with writer.block("policy-options"):
+        for name in sorted(config.prefix_lists):
+            prefix_list = config.prefix_lists[name]
+            exact_entries = [
+                entry
+                for entry in prefix_list.entries
+                if entry.range.is_exact() and entry.action == "permit"
+            ]
+            if exact_entries:
+                with writer.block(f"prefix-list {name}"):
+                    for entry in exact_entries:
+                        writer.leaf(str(entry.range.prefix))
+        for name in sorted(config.community_lists):
+            community_list = config.community_lists[name]
+            members = sorted(community_list.permitted_communities())
+            if not members:
+                continue
+            rendered = " ".join(str(item) for item in members)
+            if len(members) > 1:
+                rendered = f"[ {rendered} ]"
+            writer.leaf(f"community {name} members {rendered}")
+        for name, members in community_names.definitions():
+            rendered = " ".join(str(item) for item in members)
+            if len(members) > 1:
+                rendered = f"[ {rendered} ]"
+            writer.leaf(f"community {name} members {rendered}")
+        for name in sorted(config.as_path_lists):
+            as_path_list = config.as_path_lists[name]
+            permits = [
+                entry for entry in as_path_list.entries
+                if entry.action == "permit"
+            ]
+            if permits:
+                # Junos named as-paths carry one regex; the experiments'
+                # lists are single-permit (deny-bearing lists would need
+                # an as-path-group, outside the paper's surface).
+                writer.leaf(f'as-path {name} "{permits[0].regex}"')
+        for name in sorted(config.route_maps):
+            _render_policy_statement(
+                writer, config, config.route_maps[name], community_names
+            )
+
+
+def _render_policy_statement(
+    writer: _Writer,
+    config: RouterConfig,
+    route_map: RouteMap,
+    community_names: _CommunityNamer,
+) -> None:
+    with writer.block(f"policy-statement {route_map.name}"):
+        for clause in route_map.clauses:
+            term_name = clause.term_name or f"t{clause.seq}"
+            from_lines = _from_lines(config, clause)
+            if from_lines is None:
+                # A from condition with an empty match space: the term
+                # can never fire, so rendering nothing is the faithful
+                # translation (rendering an empty from would match all).
+                continue
+            with writer.block(f"term {term_name}"):
+                if from_lines:
+                    with writer.block("from"):
+                        for line in from_lines:
+                            writer.leaf(line)
+                with writer.block("then"):
+                    for set_action in clause.sets:
+                        for line in _then_lines(set_action, community_names):
+                            writer.leaf(line)
+                    writer.leaf(
+                        "accept" if clause.action is Action.PERMIT else "reject"
+                    )
+
+
+def _from_lines(config: RouterConfig, clause: RouteMapClause) -> "List[str] | None":
+    """Render a clause's from conditions; ``None`` marks a clause whose
+    match space is empty (the term must be omitted entirely)."""
+    lines: List[str] = []
+    for condition in clause.matches:
+        if isinstance(condition, MatchPrefixList):
+            referenced = config.get_prefix_list(condition.name)
+            needs_ranges = referenced is not None and any(
+                not entry.range.is_exact() or entry.action == "deny"
+                for entry in referenced.entries
+            )
+            if needs_ranges:
+                assert referenced is not None
+                permitted = referenced.permitted_ranges()
+                if not permitted:
+                    return None
+                for item in permitted:
+                    lines.append(_route_filter_line(item))
+            else:
+                lines.append(f"prefix-list {condition.name}")
+        elif isinstance(condition, MatchPrefixRanges):
+            if not condition.ranges:
+                return None
+            for item in condition.ranges:
+                lines.append(_route_filter_line(item))
+        elif isinstance(condition, MatchCommunityList):
+            lines.append(f"community {condition.name}")
+        elif isinstance(condition, MatchCommunityInline):
+            lines.append(f"community {condition.community}")
+        elif isinstance(condition, MatchAsPathList):
+            lines.append(f"as-path {condition.name}")
+        elif isinstance(condition, MatchProtocol):
+            lines.append(f"protocol {condition.protocol.value}")
+    return lines
+
+
+def _route_filter_line(prefix_range: PrefixRange) -> str:
+    prefix = prefix_range.prefix
+    if prefix_range.is_exact():
+        return f"route-filter {prefix} exact"
+    if prefix_range.low == prefix.length and prefix_range.high == 32:
+        return f"route-filter {prefix} orlonger"
+    if prefix_range.low == prefix.length:
+        return f"route-filter {prefix} upto /{prefix_range.high}"
+    return (
+        f"route-filter {prefix} prefix-length-range "
+        f"/{prefix_range.low}-/{prefix_range.high}"
+    )
+
+
+def _then_lines(set_action, community_names: _CommunityNamer) -> List[str]:
+    if isinstance(set_action, SetCommunity):
+        name = community_names.name_for(set_action.communities)
+        mode = "add" if set_action.additive else "set"
+        return [f"community {mode} {name}"]
+    if isinstance(set_action, SetMed):
+        return [f"metric {set_action.med}"]
+    if isinstance(set_action, SetLocalPref):
+        return [f"local-preference {set_action.local_pref}"]
+    if isinstance(set_action, SetNextHop):
+        return [f"next-hop {set_action.next_hop}"]
+    if isinstance(set_action, SetAsPathPrepend):
+        rendered = " ".join([str(set_action.asn)] * set_action.count)
+        return [f'as-path-prepend "{rendered}"']
+    return []
+
+
+def _area_string(area: int) -> str:
+    """Render an area id in the dotted form Junos prefers."""
+    return ".".join(str((area >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _junos_unit_name(interface) -> str:
+    return f"{interface.name}.{interface.unit}"
+
+
+def _find_interface(config: RouterConfig, unit_name: str):
+    base = unit_name.split(".")[0]
+    return config.get_interface(unit_name) or config.get_interface(base)

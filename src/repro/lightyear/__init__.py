@@ -1,0 +1,30 @@
+"""Lightyear substitute: local policy invariants, their verification,
+and the compositional argument that they imply the global policy."""
+
+from .compose import (
+    CompositionResult,
+    GlobalCheckResult,
+    check_composition,
+    check_global_no_transit,
+)
+from .invariants import (
+    EgressFilterInvariant,
+    EgressPrependInvariant,
+    IngressTagInvariant,
+    no_transit_invariants,
+)
+from .verifier import InvariantViolation, verify_invariant, verify_invariants
+
+__all__ = [
+    "CompositionResult",
+    "EgressFilterInvariant",
+    "EgressPrependInvariant",
+    "GlobalCheckResult",
+    "IngressTagInvariant",
+    "InvariantViolation",
+    "check_composition",
+    "check_global_no_transit",
+    "no_transit_invariants",
+    "verify_invariant",
+    "verify_invariants",
+]

@@ -1,0 +1,166 @@
+"""Compositional argument: local invariants imply the global policy.
+
+§4.1 closes the loop: "we simulate the entire BGP communication using
+Batfish as a final step, in order to ensure that the global policy is
+satisfied, though the proof technique of Lightyear could instead be used
+to ensure that the local policies imply the global one."  This module
+provides both: the structural composition check (every ISP pair is
+covered by a tag/filter pair and no policy strips tags) and the
+simulation-based global check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..batfish.bgpsim import BgpSimulation
+from ..netmodel.device import RouterConfig
+from ..netmodel.ip import Prefix
+from ..netmodel.routing_policy import SetCommunity
+from ..topology.model import Topology
+from .invariants import EgressFilterInvariant, IngressTagInvariant
+
+__all__ = ["CompositionResult", "GlobalCheckResult", "check_composition", "check_global_no_transit"]
+
+
+@dataclass
+class CompositionResult:
+    """Outcome of the structural Lightyear-style composition check."""
+
+    covered_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    uncovered_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    tag_stripping_policies: List[str] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.uncovered_pairs and not self.tag_stripping_policies
+
+    def describe(self) -> str:
+        if self.holds:
+            return (
+                f"local invariants cover all {len(self.covered_pairs)} "
+                f"ISP pairs and no policy strips ingress tags: the global "
+                f"no-transit policy follows"
+            )
+        problems = []
+        if self.uncovered_pairs:
+            rendered = ", ".join(f"{a}->{b}" for a, b in self.uncovered_pairs)
+            problems.append(f"uncovered ISP pairs: {rendered}")
+        if self.tag_stripping_policies:
+            problems.append(
+                "policies replace communities non-additively: "
+                + ", ".join(self.tag_stripping_policies)
+            )
+        return "; ".join(problems)
+
+
+def check_composition(
+    invariants: List[object],
+    configs: Dict[str, RouterConfig],
+    topology: Topology,
+) -> CompositionResult:
+    """Verify the invariant *set* suffices for global no-transit.
+
+    The argument needs (1) every ordered ISP pair (i, j), i ≠ j, to have
+    an ingress tag at i and an egress filter at j forbidding i's tag,
+    and (2) no route-map between the tagging point and the filtering
+    point to replace communities non-additively (which would strip the
+    tag and void the argument).
+    """
+    result = CompositionResult()
+    tags = {
+        str(invariant.neighbor_ip): invariant.community
+        for invariant in invariants
+        if isinstance(invariant, IngressTagInvariant)
+    }
+    filters = {
+        str(invariant.neighbor_ip): invariant.forbidden
+        for invariant in invariants
+        if isinstance(invariant, EgressFilterInvariant)
+    }
+    addresses = sorted(set(tags) | set(filters))
+    for source in addresses:
+        for destination in addresses:
+            if source == destination:
+                continue
+            tag = tags.get(source)
+            forbidden = filters.get(destination, frozenset())
+            if tag is not None and tag in forbidden:
+                result.covered_pairs.append((source, destination))
+            else:
+                result.uncovered_pairs.append((source, destination))
+    for hostname, config in sorted(configs.items()):
+        for route_map in config.route_maps.values():
+            for clause in route_map.clauses:
+                for set_action in clause.sets:
+                    if isinstance(set_action, SetCommunity) and not set_action.additive:
+                        result.tag_stripping_policies.append(
+                            f"{hostname}:{route_map.name}"
+                        )
+    return result
+
+
+@dataclass
+class GlobalCheckResult:
+    """Outcome of the simulation-based global no-transit check."""
+
+    transit_violations: List[str] = field(default_factory=list)
+    customer_unreachable: List[str] = field(default_factory=list)
+    isp_prefixes_missing_at_hub: List[str] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not (
+            self.transit_violations
+            or self.customer_unreachable
+            or self.isp_prefixes_missing_at_hub
+        )
+
+    def describe(self) -> str:
+        if self.holds:
+            return "BGP simulation confirms the global no-transit policy"
+        return "; ".join(
+            self.transit_violations
+            + self.customer_unreachable
+            + self.isp_prefixes_missing_at_hub
+        )
+
+
+def check_global_no_transit(
+    configs: Dict[str, RouterConfig], topology: Topology
+) -> GlobalCheckResult:
+    """Simulate BGP and check the global property directly (§4.1's final
+    step): no ISP router holds another ISP's route, every ISP router
+    holds the customer route, and the hub holds every ISP route."""
+    result = GlobalCheckResult()
+    simulation = BgpSimulation(configs)
+    simulation.run()
+    hub = topology.router("R1")
+    customer_prefixes = list(hub.networks)
+    spoke_names = [name for name in topology.router_names() if name != "R1"]
+    spoke_prefixes: Dict[str, List[Prefix]] = {
+        name: list(topology.router(name).networks) for name in spoke_names
+    }
+    for receiver in spoke_names:
+        for sender in spoke_names:
+            if sender == receiver:
+                continue
+            for prefix in spoke_prefixes[sender]:
+                if simulation.has_route(receiver, prefix):
+                    result.transit_violations.append(
+                        f"{receiver} has a route to {sender}'s prefix {prefix}: "
+                        f"transit through the customer network"
+                    )
+        for prefix in customer_prefixes:
+            if not simulation.has_route(receiver, prefix):
+                result.customer_unreachable.append(
+                    f"{receiver} has no route to the customer prefix {prefix}"
+                )
+    for sender in spoke_names:
+        for prefix in spoke_prefixes[sender]:
+            if not simulation.has_route("R1", prefix):
+                result.isp_prefixes_missing_at_hub.append(
+                    f"R1 has no route to {sender}'s prefix {prefix}"
+                )
+    return result

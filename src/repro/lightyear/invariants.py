@@ -1,0 +1,145 @@
+"""Local policy invariants in the style of Lightyear.
+
+§4.1: "the policy is that R1 should add a specific community at the
+ingress to each ISP and then drop routes based on those communities at
+the egress to each ISP."  Each obligation is a *local* invariant on one
+route map of one router — which is what makes verification feedback
+actionable ("it allowed us to localize verification errors to specific
+routers and specific route maps within those routers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from ..netmodel.communities import Community
+from ..netmodel.ip import Ipv4Address
+from ..topology.generator import ingress_community
+from ..topology.model import Topology
+
+__all__ = [
+    "EgressFilterInvariant",
+    "EgressPrependInvariant",
+    "IngressTagInvariant",
+    "LocalInvariant",
+    "no_transit_invariants",
+]
+
+
+@dataclass(frozen=True)
+class IngressTagInvariant:
+    """Every route the import policy admits must carry ``community``."""
+
+    router: str
+    neighbor_ip: Ipv4Address
+    community: Community
+
+    @property
+    def direction(self) -> str:
+        return "import"
+
+    def describe(self) -> str:
+        return (
+            f"on {self.router}, every route accepted from neighbor "
+            f"{self.neighbor_ip} must carry the community {self.community}"
+        )
+
+
+@dataclass(frozen=True)
+class EgressFilterInvariant:
+    """No route carrying any forbidden community may be exported."""
+
+    router: str
+    neighbor_ip: Ipv4Address
+    forbidden: FrozenSet[Community]
+
+    @property
+    def direction(self) -> str:
+        return "export"
+
+    def describe(self) -> str:
+        rendered = ", ".join(sorted(str(item) for item in self.forbidden))
+        return (
+            f"on {self.router}, routes carrying any of the communities "
+            f"{{{rendered}}} must be denied at the egress to neighbor "
+            f"{self.neighbor_ip}"
+        )
+
+
+@dataclass(frozen=True)
+class EgressPrependInvariant:
+    """Every exported route must have ``asn`` prepended ``count`` times.
+
+    Used by the incremental-policy extension (the paper's §6 question:
+    "Can GPT-4 add a new policy incrementally without interfering with
+    existing verified policy?") — a traffic-engineering depref expressed
+    as a new local invariant alongside the existing no-transit ones.
+    """
+
+    router: str
+    neighbor_ip: Ipv4Address
+    asn: int
+    count: int
+
+    @property
+    def direction(self) -> str:
+        return "export"
+
+    def describe(self) -> str:
+        return (
+            f"on {self.router}, every route exported to neighbor "
+            f"{self.neighbor_ip} must have AS {self.asn} prepended "
+            f"{self.count} time(s)"
+        )
+
+
+LocalInvariant = (
+    "IngressTagInvariant | EgressFilterInvariant | EgressPrependInvariant"
+)
+
+
+def no_transit_invariants(topology: Topology) -> List[object]:
+    """Derive the no-transit local invariants for a star topology.
+
+    For each spoke ``Ri`` (i ≥ 2) with hub-side address ``a_i`` and
+    ingress tag ``t_i``:
+
+    * R1 must tag routes learned from ``a_i`` with ``t_i``;
+    * R1 must drop routes carrying ``t_j`` (for every j ≠ i) at the
+      egress toward ``a_i``.
+
+    Together these imply the global policy: an ISP route is tagged on
+    entry, tags are never removed, and tagged routes never exit toward a
+    different ISP — while untagged customer routes flow everywhere.
+    """
+    hub = topology.router("R1")
+    spokes: List[Tuple[int, Ipv4Address]] = []
+    for index, name in enumerate(topology.router_names(), start=1):
+        if name == "R1":
+            continue
+        router = topology.router(name)
+        hub_neighbor = next(
+            (spec for spec in hub.neighbors if spec.peer_name == name), None
+        )
+        if hub_neighbor is None:
+            continue
+        spokes.append((index, hub_neighbor.ip))
+    invariants: List[object] = []
+    tags = {address: ingress_community(index) for index, address in spokes}
+    for index, address in spokes:
+        invariants.append(
+            IngressTagInvariant(
+                router="R1", neighbor_ip=address, community=tags[address]
+            )
+        )
+        forbidden = frozenset(
+            tag for other, tag in tags.items() if other != address
+        )
+        if forbidden:
+            invariants.append(
+                EgressFilterInvariant(
+                    router="R1", neighbor_ip=address, forbidden=forbidden
+                )
+            )
+    return invariants

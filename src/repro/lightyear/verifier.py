@@ -1,0 +1,225 @@
+"""Verification of local invariants against parsed configs.
+
+Violations carry a concrete counterexample route, phrased the way
+Table 3's semantic-error prompt is ("The route-map DROP_COMMUNITY
+permits routes that have the community 100:1. However, they should be
+denied.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..netmodel.device import RouterConfig
+from ..netmodel.route import Route
+from ..netmodel.routing_policy import Action, PolicyEvaluationError, RouteMap
+from ..symbolic import CandidateUniverse, RouteConstraint
+from .invariants import (
+    EgressFilterInvariant,
+    EgressPrependInvariant,
+    IngressTagInvariant,
+)
+
+__all__ = ["InvariantViolation", "verify_invariant", "verify_invariants"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One local-invariant failure with its witness route."""
+
+    invariant: object
+    router: str
+    policy_name: str
+    witness: Route
+    message: str
+
+    def describe(self) -> str:
+        return self.message
+
+
+def verify_invariants(
+    configs: "dict[str, RouterConfig]", invariants: List[object]
+) -> List[InvariantViolation]:
+    """Check every invariant, returning all violations found."""
+    violations: List[InvariantViolation] = []
+    for invariant in invariants:
+        config = configs.get(invariant.router)
+        if config is None:
+            violations.append(
+                InvariantViolation(
+                    invariant=invariant,
+                    router=invariant.router,
+                    policy_name="",
+                    witness=Route(prefix=_placeholder_prefix()),
+                    message=f"router {invariant.router} has no configuration",
+                )
+            )
+            continue
+        violation = verify_invariant(config, invariant)
+        if violation is not None:
+            violations.append(violation)
+    return violations
+
+
+def verify_invariant(
+    config: RouterConfig, invariant: object
+) -> Optional[InvariantViolation]:
+    """Check one invariant; ``None`` means it holds."""
+    if isinstance(invariant, IngressTagInvariant):
+        return _verify_ingress_tag(config, invariant)
+    if isinstance(invariant, EgressFilterInvariant):
+        return _verify_egress_filter(config, invariant)
+    if isinstance(invariant, EgressPrependInvariant):
+        return _verify_egress_prepend(config, invariant)
+    raise TypeError(f"unknown invariant type: {type(invariant).__name__}")
+
+
+def _attached_policy(
+    config: RouterConfig, neighbor_ip, direction: str
+) -> "tuple[Optional[RouteMap], str]":
+    if config.bgp is None:
+        return None, ""
+    neighbor = config.bgp.get_neighbor(neighbor_ip)
+    if neighbor is None:
+        return None, ""
+    name = (
+        neighbor.import_policy if direction == "import" else neighbor.export_policy
+    )
+    if name is None:
+        return None, ""
+    return config.get_route_map(name), name
+
+
+def _verify_ingress_tag(
+    config: RouterConfig, invariant: IngressTagInvariant
+) -> Optional[InvariantViolation]:
+    route_map, name = _attached_policy(config, invariant.neighbor_ip, "import")
+    if route_map is None:
+        return InvariantViolation(
+            invariant=invariant,
+            router=invariant.router,
+            policy_name=name,
+            witness=Route(prefix=_placeholder_prefix()),
+            message=(
+                f"No import route-map is attached for neighbor "
+                f"{invariant.neighbor_ip} on {invariant.router}, so routes "
+                f"are not tagged with the community {invariant.community}"
+            ),
+        )
+    universe = CandidateUniverse()
+    universe.add_policy(config, route_map)
+    for route in universe.routes():
+        try:
+            outcome = route_map.evaluate(route, config)
+        except PolicyEvaluationError:
+            continue
+        if outcome.action is Action.PERMIT and (
+            invariant.community not in outcome.route.communities
+        ):
+            return InvariantViolation(
+                invariant=invariant,
+                router=invariant.router,
+                policy_name=route_map.name,
+                witness=route,
+                message=(
+                    f"The route-map {route_map.name} permits the route "
+                    f"[{route.describe()}] without adding the community "
+                    f"{invariant.community}. However, every route accepted "
+                    f"from neighbor {invariant.neighbor_ip} should carry it."
+                ),
+            )
+    return None
+
+
+def _verify_egress_filter(
+    config: RouterConfig, invariant: EgressFilterInvariant
+) -> Optional[InvariantViolation]:
+    route_map, name = _attached_policy(config, invariant.neighbor_ip, "export")
+    if route_map is None:
+        return InvariantViolation(
+            invariant=invariant,
+            router=invariant.router,
+            policy_name=name,
+            witness=Route(prefix=_placeholder_prefix()),
+            message=(
+                f"No export route-map is attached for neighbor "
+                f"{invariant.neighbor_ip} on {invariant.router}, so tagged "
+                f"routes are not filtered"
+            ),
+        )
+    for community in sorted(invariant.forbidden):
+        constraint = RouteConstraint.with_community(community)
+        universe = CandidateUniverse()
+        universe.add_policy(config, route_map)
+        universe.add_constraint(constraint)
+        for route in universe.routes(constraint):
+            try:
+                outcome = route_map.evaluate(route, config)
+            except PolicyEvaluationError:
+                continue
+            if outcome.action is Action.PERMIT:
+                return InvariantViolation(
+                    invariant=invariant,
+                    router=invariant.router,
+                    policy_name=route_map.name,
+                    witness=route,
+                    message=(
+                        f"The route-map {route_map.name} permits routes that "
+                        f"have the community {community}. However, they "
+                        f"should be denied."
+                    ),
+                )
+    return None
+
+
+def _verify_egress_prepend(
+    config: RouterConfig, invariant: EgressPrependInvariant
+) -> Optional[InvariantViolation]:
+    route_map, name = _attached_policy(config, invariant.neighbor_ip, "export")
+    if route_map is None:
+        return InvariantViolation(
+            invariant=invariant,
+            router=invariant.router,
+            policy_name=name,
+            witness=Route(prefix=_placeholder_prefix()),
+            message=(
+                f"No export route-map is attached for neighbor "
+                f"{invariant.neighbor_ip} on {invariant.router}, so routes "
+                f"are exported without the AS-path prepend"
+            ),
+        )
+    expected = (invariant.asn,) * invariant.count
+    universe = CandidateUniverse()
+    universe.add_policy(config, route_map)
+    for route in universe.routes():
+        try:
+            outcome = route_map.evaluate(route, config)
+        except PolicyEvaluationError:
+            continue
+        if outcome.action is not Action.PERMIT:
+            continue
+        added = outcome.route.as_path.asns[
+            : len(outcome.route.as_path.asns) - len(route.as_path.asns)
+        ]
+        if added != expected:
+            found = len([asn for asn in added if asn == invariant.asn])
+            return InvariantViolation(
+                invariant=invariant,
+                router=invariant.router,
+                policy_name=route_map.name,
+                witness=route,
+                message=(
+                    f"The route-map {route_map.name} exports the route "
+                    f"[{route.describe()}] with AS {invariant.asn} prepended "
+                    f"{found} time(s). However, it must be prepended "
+                    f"{invariant.count} time(s)."
+                ),
+            )
+    return None
+
+
+def _placeholder_prefix():
+    from ..netmodel.ip import Prefix
+
+    return Prefix.parse("0.0.0.0/0")

@@ -1,0 +1,77 @@
+"""The correction-behaviour model of the simulated GPT-4.
+
+§3.2 observes four reactions to a correction prompt: GPT-4 fixes the
+issue; it "appl[ies] no change"; it "can fix one error, but introduce
+new errors that were not previously there"; and it "sometimes even
+reintroduces errors that were previously fixed".  The behaviour model
+samples among exactly those outcomes with a seeded RNG, so experiments
+are reproducible prompt-for-prompt.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+__all__ = ["BehaviorProfile", "CorrectionOutcome", "sample_outcome"]
+
+
+class CorrectionOutcome(enum.Enum):
+    """What the model does with a recognized, fixable correction prompt."""
+
+    FIX = "fix"
+    NO_CHANGE = "no_change"
+    FIX_WITH_NEW_ERROR = "fix_with_new_error"
+    FIX_WITH_REGRESSION = "fix_with_regression"
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Outcome probabilities.  Must sum to 1.
+
+    The defaults are calibrated so the two use cases land near the
+    paper's prompt counts (≈20 automated for translation, ≈12 for
+    synthesis) over the default seeds.
+    """
+
+    fix: float = 0.70
+    no_change: float = 0.14
+    fix_with_new_error: float = 0.10
+    fix_with_regression: float = 0.06
+
+    def __post_init__(self) -> None:
+        total = self.fix + self.no_change + self.fix_with_new_error + (
+            self.fix_with_regression
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+
+    @classmethod
+    def always_fix(cls) -> "BehaviorProfile":
+        """An idealized future model (the paper's GPT-6 hypothetical —
+        leverage decreases as the LLM improves)."""
+        return cls(fix=1.0, no_change=0.0, fix_with_new_error=0.0,
+                   fix_with_regression=0.0)
+
+    @classmethod
+    def never_fix(cls) -> "BehaviorProfile":
+        """A degenerate model used by failure-injection tests."""
+        return cls(fix=0.0, no_change=1.0, fix_with_new_error=0.0,
+                   fix_with_regression=0.0)
+
+
+def sample_outcome(
+    rng: random.Random, profile: BehaviorProfile
+) -> CorrectionOutcome:
+    """Draw one correction outcome."""
+    value = rng.random()
+    if value < profile.fix:
+        return CorrectionOutcome.FIX
+    value -= profile.fix
+    if value < profile.no_change:
+        return CorrectionOutcome.NO_CHANGE
+    value -= profile.no_change
+    if value < profile.fix_with_new_error:
+        return CorrectionOutcome.FIX_WITH_NEW_ERROR
+    return CorrectionOutcome.FIX_WITH_REGRESSION

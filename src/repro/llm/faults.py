@@ -1,0 +1,127 @@
+"""The fault framework behind the simulated GPT-4.
+
+The paper characterizes GPT-4's drafts as "promising draft
+configurations but with egregious errors in topology, syntax, and
+semantics" (§Abstract).  The simulation reifies each observed error as a
+:class:`Fault`: a reversible transform applied to the *correct*
+reference configuration.  A draft is then "reference + active faults" —
+which guarantees every verifier finding traces back to a documented,
+paper-grounded fault rather than an accident of the generator.
+
+Faults are recognized in correction prompts through regex signatures:
+``prompt_patterns`` match the humanizer's generated prompts (Tables 1
+and 3), ``human_prompt_patterns`` match the more direct prompts only a
+human issues (§3.2's "add 'from bgp' conditions", §4.2's "declare each
+match statement in a separate route-map stanza").
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ErrorCategory
+from ..netmodel.device import RouterConfig
+
+__all__ = ["DraftState", "Fault"]
+
+IrTransform = Callable[[RouterConfig], None]
+TextTransform = Callable[[str], str]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One reversible, recognizable draft error."""
+
+    key: str
+    label: str  # Table 2 / Table 3 row name
+    category: ErrorCategory
+    fixable_by_generated_prompt: bool
+    prompt_patterns: Tuple[str, ...]
+    human_prompt_patterns: Tuple[str, ...] = ()
+    ir_transform: Optional[IrTransform] = None
+    text_transform: Optional[TextTransform] = None
+    successor_key: Optional[str] = None  # fault that replaces this one after a human-directed fix attempt (e.g. ge-range -> invalid syntax)
+    human_prompt: str = ""  # the targeted prompt a human issues when punted
+
+    def matches_generated(self, prompt: str) -> bool:
+        return any(
+            re.search(pattern, prompt, re.IGNORECASE)
+            for pattern in self.prompt_patterns
+        )
+
+    def matches_human(self, prompt: str) -> bool:
+        return any(
+            re.search(pattern, prompt, re.IGNORECASE)
+            for pattern in self.human_prompt_patterns
+        )
+
+
+class DraftState:
+    """A draft configuration: pristine reference plus active faults.
+
+    Rendering deep-copies the reference, applies every active fault's IR
+    transform, renders text, then applies text transforms (for errors —
+    like invalid syntax — that the IR cannot express).
+    """
+
+    def __init__(
+        self,
+        pristine: RouterConfig,
+        renderer: Callable[[RouterConfig], str],
+    ) -> None:
+        self._pristine = pristine
+        self._renderer = renderer
+        self._active: Dict[str, Fault] = {}
+        self._fixed: List[Fault] = []
+
+    # -- fault management ------------------------------------------------------
+
+    def inject(self, fault: Fault) -> None:
+        self._active[fault.key] = fault
+
+    def repair(self, fault_key: str) -> Optional[Fault]:
+        fault = self._active.pop(fault_key, None)
+        if fault is not None:
+            self._fixed.append(fault)
+        return fault
+
+    def reintroduce(self, fault: Fault) -> None:
+        """A regression: a previously fixed fault comes back (§3.2:
+        "Sometimes it even reintroduces errors that were previously
+        fixed!")."""
+        self._fixed = [item for item in self._fixed if item.key != fault.key]
+        self._active[fault.key] = fault
+
+    def active_faults(self) -> List[Fault]:
+        return list(self._active.values())
+
+    def fixed_faults(self) -> List[Fault]:
+        return list(self._fixed)
+
+    def is_active(self, fault_key: str) -> bool:
+        return fault_key in self._active
+
+    @property
+    def clean(self) -> bool:
+        return not self._active
+
+    # -- rendering ----------------------------------------------------------------
+
+    def current_config(self) -> RouterConfig:
+        """The draft's IR (faulted), for white-box tests."""
+        config = copy.deepcopy(self._pristine)
+        for fault in self._active.values():
+            if fault.ir_transform is not None:
+                fault.ir_transform(config)
+        return config
+
+    def render(self) -> str:
+        config = self.current_config()
+        text = self._renderer(config)
+        for fault in self._active.values():
+            if fault.text_transform is not None:
+                text = fault.text_transform(text)
+        return text

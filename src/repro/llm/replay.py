@@ -1,0 +1,61 @@
+"""Replay client: drive COSYNTH from a recorded transcript.
+
+The path to using a *real* GPT-4 with this codebase: record the
+assistant responses of an actual chat (or of a prior simulated run),
+then replay them through the same orchestrator.  Replay is also how the
+test suite pins down orchestrator behaviour against byte-exact response
+sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .client import ChatRole, ChatTranscript
+
+__all__ = ["ReplayClient", "responses_of"]
+
+
+class ReplayClient:
+    """An :class:`LLMClient` that returns pre-recorded responses in order.
+
+    When the recording runs out, the last response is repeated (a stuck
+    model), matching how a real chat would behave if re-asked after its
+    final answer.
+    """
+
+    def __init__(self, responses: Sequence[str]) -> None:
+        if not responses:
+            raise ValueError("a replay needs at least one response")
+        self._responses = list(responses)
+        self._cursor = 0
+        self.transcript = ChatTranscript()
+
+    def send(self, prompt: str) -> str:
+        self.transcript.add_user(prompt)
+        index = min(self._cursor, len(self._responses) - 1)
+        self._cursor += 1
+        response = self._responses[index]
+        self.transcript.add_assistant(response)
+        return response
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every recorded response has been served."""
+        return self._cursor >= len(self._responses)
+
+    def prompts_received(self) -> List[str]:
+        return [
+            message.content
+            for message in self.transcript.messages
+            if message.role is ChatRole.USER
+        ]
+
+
+def responses_of(transcript: ChatTranscript) -> List[str]:
+    """Extract the assistant turns of a transcript, for replaying."""
+    return [
+        message.content
+        for message in transcript.messages
+        if message.role is ChatRole.ASSISTANT
+    ]

@@ -1,0 +1,442 @@
+"""Fault catalog for the no-transit local-synthesis use case (§4).
+
+Three families, matching §4.1's error classification:
+
+* **syntax** — interactive CLI keywords, inline ``match community``
+  values, and the misplaced ``neighbor`` command of §4.2;
+* **topology** — the seven Table 3 inconsistencies (wrong interface IP,
+  wrong local AS, wrong router-id, missing neighbor/network, extra
+  network/neighbor);
+* **semantic** — egress filters that pass tagged routes, ingress maps
+  that do not tag, the non-additive ``set community``, and §4.2's
+  AND/OR match-semantics confusion (unfixable from the generated
+  counterexample; needs the "separate stanza" human prompt).
+
+Fault keys suppressed by Initial Instruction Prompts are listed in
+:data:`IIP_SUPPRESSED_FAULTS` — supplying the IIP removes them from the
+initial draft, reproducing §4.2's before/after.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..errors import ErrorCategory
+from ..netmodel.communities import Community
+from ..netmodel.device import RouterConfig
+from ..netmodel.bgp import BgpNeighbor
+from ..netmodel.ip import Ipv4Address, Prefix
+from ..netmodel.routing_policy import (
+    Action,
+    MatchCommunityInline,
+    MatchCommunityList,
+    RouteMapClause,
+    SetCommunity,
+)
+from ..topology.generator import ingress_community
+from ..topology.model import Topology
+from .faults import Fault
+
+__all__ = [
+    "IIP_SUPPRESSED_FAULTS",
+    "SYNTHESIS_SIDE_POOL",
+    "default_fault_assignment",
+    "synthesis_fault_catalog",
+]
+
+# fault key -> the IIP id whose presence suppresses it (§4.2's four IIPs;
+# the misplaced-keywords IIP covers CLI prompts and wrong keywords both).
+IIP_SUPPRESSED_FAULTS = {
+    "cli_keywords": "no-cli-keywords",
+    "inline_match_community": "match-via-community-list",
+    "non_additive_set_community": "additive-keyword",
+}
+
+SYNTHESIS_SIDE_POOL = ("stray_ip_routing",)
+
+
+def default_fault_assignment(router_count: int) -> Dict[str, List[str]]:
+    """Which faults each router's first draft carries (default seed).
+
+    The hub concentrates the policy errors (it holds all the policy);
+    two spokes carry the Table 3 topology errors; the rest draft clean —
+    mirroring §4.2 where "some GPT-4 errors were more common" but not
+    universal.
+    """
+    if router_count < 4:
+        raise ValueError("the default assignment needs at least 4 routers")
+    assignment: Dict[str, List[str]] = {
+        name: [] for name in (f"R{i}" for i in range(1, router_count + 1))
+    }
+    assignment["R1"] = [
+        "cli_keywords",
+        "inline_match_community",
+        "non_additive_set_community",
+        "misplaced_neighbor_command",
+        "and_or_semantics",
+        "wrong_interface_ip",
+        "extra_network",
+        "extra_neighbor",
+        "egress_permits_tagged",
+    ]
+    if router_count >= 5:
+        assignment["R1"].append("missing_ingress_tag")
+    assignment["R2"] = [
+        "cli_keywords",
+        "wrong_router_id",
+        "missing_neighbor",
+        "missing_network",
+    ]
+    assignment["R3"] = ["wrong_local_as"]
+    return assignment
+
+
+def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
+    """Build the catalog for a given star topology (it needs concrete
+    addresses and the spoke count)."""
+    router_count = len(topology.routers)
+    faults: List[Fault] = []
+
+    # -- syntax ----------------------------------------------------------------
+
+    faults.append(
+        Fault(
+            key="cli_keywords",
+            label="Interactive CLI keywords in config file",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(
+                r"Interactive CLI command",
+                r"configure terminal",
+            ),
+            text_transform=lambda text: "configure terminal\n"
+            + text
+            + "exit\nwrite\n",
+        )
+    )
+    faults.append(
+        Fault(
+            key="stray_ip_routing",
+            label="Unnecessary 'ip routing' statement",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"ip routing",),
+            text_transform=lambda text: "ip routing\n" + text,
+        )
+    )
+    inline_target = f"FILTER_COMM_OUT_R{min(6, router_count)}"
+    faults.append(
+        Fault(
+            key="inline_match_community",
+            label="match community with a literal value",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(
+                r"community-list name",
+                r"match community expects",
+            ),
+            ir_transform=_make_inline_match(inline_target),
+        )
+    )
+    last_spoke = router_count
+    misplaced_pattern = (
+        rf"neighbor \S+ route-map FILTER_COMM_OUT_R{last_spoke} out"
+    )
+    faults.append(
+        Fault(
+            key="misplaced_neighbor_command",
+            label="neighbor command outside the router bgp block",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=False,
+            prompt_patterns=(misplaced_pattern,),
+            human_prompt_patterns=(r"router bgp block", r"under .router bgp."),
+            human_prompt=(
+                "All network and neighbor commands must be placed under "
+                'the "router bgp" block. Move the neighbor route-map '
+                "statement back inside the router bgp block."
+            ),
+            text_transform=_make_misplace_neighbor(last_spoke),
+        )
+    )
+
+    # -- topology ---------------------------------------------------------------
+
+    faults.append(
+        Fault(
+            key="wrong_interface_ip",
+            label="Interface IP address does not match the topology",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Interface eth0/2 ip address",),
+            ir_transform=_wrong_interface_ip,
+        )
+    )
+    faults.append(
+        Fault(
+            key="wrong_local_as",
+            label="Local AS number does not match",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Local AS number",),
+            ir_transform=_wrong_local_as,
+        )
+    )
+    faults.append(
+        Fault(
+            key="wrong_router_id",
+            label="Router ID does not match",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Router ID",),
+            ir_transform=_wrong_router_id,
+        )
+    )
+    faults.append(
+        Fault(
+            key="missing_neighbor",
+            label="BGP neighbor not declared",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Neighbor with IP address 1\.0\.0\.1",),
+            ir_transform=_drop_hub_neighbor,
+        )
+    )
+    faults.append(
+        Fault(
+            key="missing_network",
+            label="Network not declared",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Network 1\.0\.0\.0/24 not declared",),
+            ir_transform=_drop_link_network,
+        )
+    )
+    faults.append(
+        Fault(
+            key="extra_network",
+            label="Network not directly connected",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Incorrect network declaration",),
+            ir_transform=_make_extra_network(router_count),
+        )
+    )
+    faults.append(
+        Fault(
+            key="extra_neighbor",
+            label="Neighbor that does not exist in the topology",
+            category=ErrorCategory.TOPOLOGY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"Incorrect neighbor declaration",),
+            ir_transform=_make_extra_neighbor(router_count),
+        )
+    )
+
+    # -- semantic -----------------------------------------------------------------
+
+    faults.append(
+        Fault(
+            key="and_or_semantics",
+            label="AND semantics used for community filtering",
+            category=ErrorCategory.SEMANTIC,
+            fixable_by_generated_prompt=False,
+            prompt_patterns=(r"FILTER_COMM_OUT_R2",),
+            human_prompt_patterns=(r"separate (route-map )?stanza",),
+            human_prompt=(
+                "Multiple match statements inside one route-map stanza are "
+                "combined with AND semantics. To filter routes carrying ANY "
+                "of the communities, declare each match statement in a "
+                "separate route-map stanza with its own deny action."
+            ),
+            ir_transform=_merge_deny_clauses("FILTER_COMM_OUT_R2"),
+        )
+    )
+    faults.append(
+        Fault(
+            key="egress_permits_tagged",
+            label="Egress filter passes a tagged route",
+            category=ErrorCategory.SEMANTIC,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"FILTER_COMM_OUT_R4",),
+            ir_transform=_drop_first_deny("FILTER_COMM_OUT_R4"),
+        )
+    )
+    faults.append(
+        Fault(
+            key="missing_ingress_tag",
+            label="Ingress map does not add the community",
+            category=ErrorCategory.SEMANTIC,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"ADD_COMM_R5",),
+            ir_transform=_drop_ingress_sets("ADD_COMM_R5"),
+        )
+    )
+    faults.append(
+        Fault(
+            key="non_additive_set_community",
+            label="set community without the additive keyword",
+            category=ErrorCategory.SEMANTIC,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"additive", r"non-additively"),
+            ir_transform=_make_non_additive("ADD_COMM_R3"),
+        )
+    )
+    return {fault.key: fault for fault in faults}
+
+
+# -- transform builders ------------------------------------------------------------
+
+
+def _make_inline_match(map_name: str):
+    def transform(config: RouterConfig) -> None:
+        route_map = config.route_maps.get(map_name)
+        if route_map is None:
+            return
+        for clause in route_map.clauses:
+            if clause.action is Action.DENY and clause.matches:
+                condition = clause.matches[0]
+                if isinstance(condition, MatchCommunityList):
+                    community_list = config.get_community_list(condition.name)
+                    members = (
+                        sorted(community_list.permitted_communities())
+                        if community_list is not None
+                        else [Community(100, 1)]
+                    )
+                    clause.matches[0] = MatchCommunityInline(members[0])
+                return
+
+    return transform
+
+
+def _make_misplace_neighbor(last_spoke: int):
+    pattern = re.compile(
+        rf"^ neighbor (\S+) route-map FILTER_COMM_OUT_R{last_spoke} out$",
+        re.MULTILINE,
+    )
+
+    def transform(text: str) -> str:
+        match = pattern.search(text)
+        if match is None:
+            return text
+        line = match.group(0)
+        without = pattern.sub("", text, count=1)
+        return line.strip() + "\n" + without
+
+    return transform
+
+
+def _wrong_interface_ip(config: RouterConfig) -> None:
+    interface = config.get_interface("eth0/2")
+    if interface is not None and interface.address is not None:
+        # Swap the hub-side .1 for the spoke-side .2 on the link subnet.
+        interface.address = Ipv4Address(interface.address.value + 1)
+
+
+def _wrong_local_as(config: RouterConfig) -> None:
+    if config.bgp is not None:
+        config.bgp.asn = 1 if config.bgp.asn != 1 else 99
+
+
+def _wrong_router_id(config: RouterConfig) -> None:
+    if config.bgp is not None and config.bgp.router_id is not None:
+        config.bgp.router_id = Ipv4Address(config.bgp.router_id.value - 1)
+
+
+def _drop_hub_neighbor(config: RouterConfig) -> None:
+    if config.bgp is not None:
+        config.bgp.remove_neighbor("1.0.0.1")
+
+
+def _drop_link_network(config: RouterConfig) -> None:
+    if config.bgp is not None:
+        target = Prefix.parse("1.0.0.0/24")
+        config.bgp.networks = [
+            prefix for prefix in config.bgp.networks if prefix != target
+        ]
+
+
+def _make_extra_network(router_count: int):
+    def transform(config: RouterConfig) -> None:
+        if config.bgp is not None:
+            config.bgp.announce(Prefix.parse(f"{router_count}.0.0.0/24"))
+
+    return transform
+
+
+def _make_extra_neighbor(router_count: int):
+    def transform(config: RouterConfig) -> None:
+        if config.bgp is not None:
+            config.bgp.add_neighbor(
+                BgpNeighbor(
+                    ip=Ipv4Address.parse(f"{router_count}.0.0.2"),
+                    remote_as=router_count,
+                )
+            )
+
+    return transform
+
+
+def _merge_deny_clauses(map_name: str):
+    """Collapse the per-community deny stanzas into one AND stanza —
+    §4.2's exact mistake, quoted route-map and all."""
+
+    def transform(config: RouterConfig) -> None:
+        route_map = config.route_maps.get(map_name)
+        if route_map is None:
+            return
+        deny_matches = []
+        permit_clauses = []
+        for clause in route_map.clauses:
+            if clause.action is Action.DENY:
+                deny_matches.extend(clause.matches)
+            else:
+                permit_clauses.append(clause)
+        if not deny_matches:
+            return
+        merged = RouteMapClause(seq=10, action=Action.DENY, matches=deny_matches)
+        for index, clause in enumerate(permit_clauses):
+            clause.seq = 20 + 10 * index
+        route_map.clauses = [merged] + permit_clauses
+
+    return transform
+
+
+def _drop_first_deny(map_name: str):
+    def transform(config: RouterConfig) -> None:
+        route_map = config.route_maps.get(map_name)
+        if route_map is None:
+            return
+        for clause in list(route_map.clauses):
+            if clause.action is Action.DENY:
+                route_map.clauses.remove(clause)
+                return
+
+    return transform
+
+
+def _drop_ingress_sets(map_name: str):
+    def transform(config: RouterConfig) -> None:
+        route_map = config.route_maps.get(map_name)
+        if route_map is None:
+            return
+        for clause in route_map.clauses:
+            clause.sets = []
+
+    return transform
+
+
+def _make_non_additive(map_name: str):
+    def transform(config: RouterConfig) -> None:
+        route_map = config.route_maps.get(map_name)
+        if route_map is None:
+            return
+        for clause in route_map.clauses:
+            clause.sets = [
+                SetCommunity(action.communities, additive=False)
+                if isinstance(action, SetCommunity)
+                else action
+                for action in clause.sets
+            ]
+
+    return transform

@@ -1,0 +1,88 @@
+"""Factory for the per-router synthesis simulated GPT-4 (§4).
+
+§4.1: "We asked GPT-4 to generate configs for each router using a new
+prompt each time" — so synthesis uses one chat session (one
+:class:`SimulatedGPT4`) per router.  The factory applies the IIP
+suppression rule: faults whose IIP is supplied never appear in the
+initial draft (§4.2's before/after).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..cisco import generate_cisco
+from ..topology.model import Topology
+from ..topology.reference import build_reference_configs
+from .behavior import BehaviorProfile
+from .simulated import SimulatedGPT4
+from .synthesis_faults import (
+    IIP_SUPPRESSED_FAULTS,
+    SYNTHESIS_SIDE_POOL,
+    default_fault_assignment,
+    synthesis_fault_catalog,
+)
+
+__all__ = ["make_synthesis_models", "make_synthesis_model"]
+
+
+def make_synthesis_model(
+    router_name: str,
+    topology: Topology,
+    iip_ids: Iterable[str] = (),
+    seed: int = 0,
+    profile: Optional[BehaviorProfile] = None,
+    fault_keys: Optional[Sequence[str]] = None,
+) -> SimulatedGPT4:
+    """One chat session primed to generate ``router_name``'s config."""
+    references = build_reference_configs(topology)
+    if router_name not in references:
+        raise KeyError(f"unknown router {router_name!r}")
+    catalog = synthesis_fault_catalog(topology)
+    if fault_keys is None:
+        assignment = default_fault_assignment(len(topology.routers))
+        fault_keys = assignment.get(router_name, [])
+    active_iips = set(iip_ids)
+    filtered = [
+        key
+        for key in fault_keys
+        if IIP_SUPPRESSED_FAULTS.get(key) not in active_iips
+    ]
+    return SimulatedGPT4(
+        catalog=catalog,
+        reference=references[router_name],
+        renderer=generate_cisco,
+        initial_fault_keys=filtered,
+        side_pool_keys=SYNTHESIS_SIDE_POOL,
+        seed=seed + _router_seed_offset(router_name),
+        profile=profile,
+    )
+
+
+def make_synthesis_models(
+    topology: Topology,
+    iip_ids: Iterable[str] = (),
+    seed: int = 0,
+    profile: Optional[BehaviorProfile] = None,
+    assignment: Optional[Dict[str, List[str]]] = None,
+) -> Dict[str, SimulatedGPT4]:
+    """One session per router, keyed by router name."""
+    iips = list(iip_ids)
+    models: Dict[str, SimulatedGPT4] = {}
+    for name in topology.router_names():
+        fault_keys = assignment.get(name) if assignment is not None else None
+        models[name] = make_synthesis_model(
+            name,
+            topology,
+            iip_ids=iips,
+            seed=seed,
+            profile=profile,
+            fault_keys=fault_keys,
+        )
+    return models
+
+
+def _router_seed_offset(router_name: str) -> int:
+    """Distinct per-router RNG streams under one experiment seed."""
+    digits = "".join(char for char in router_name if char.isdigit())
+    return int(digits) * 1009 if digits else 0

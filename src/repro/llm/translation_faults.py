@@ -1,0 +1,258 @@
+"""Fault catalog for the Cisco→Juniper translation use case (§3).
+
+Every row of Table 2 appears here as a :class:`Fault` over the reference
+Juniper translation of the bundled Cisco config, including the two rows
+GPT-4 could *not* fix from a generated prompt (prefix-length ``ge``
+matching and redistribution into BGP), and the paper's signature
+transition: the human-directed fix of the dropped ``ge 24`` produces the
+*invalid* ``1.2.3.0/24-32`` prefix-list syntax (Table 1's syntax-error
+example), which the next generated syntax prompt then repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ErrorCategory
+from ..netmodel.device import RouterConfig
+from ..netmodel.ip import Prefix, PrefixRange
+from ..netmodel.prefixlist import PrefixListEntry
+from ..netmodel.routing_policy import (
+    MatchPrefixList,
+    MatchPrefixRanges,
+    MatchProtocol,
+    SetMed,
+)
+from .faults import Fault
+
+__all__ = [
+    "DEFAULT_INITIAL_FAULTS",
+    "SIDE_POOL_FAULTS",
+    "translation_fault_catalog",
+]
+
+# The keys injected into the first draft, in catalog order.  Two of them
+# (dropped_ge_range, redistribution_unguarded) are Table 2's "No" rows.
+DEFAULT_INITIAL_FAULTS = (
+    "missing_local_as",
+    "stray_statement",
+    "missing_export_policy",
+    "extra_export_policy",
+    "ospf_cost_difference",
+    "ospf_passive_difference",
+    "redistribution_unguarded",
+    "wrong_med",
+    "dropped_ge_range",
+)
+
+# Fresh syntax errors the model may introduce while fixing something else
+# (§3.2: "GPT-4 can fix one error, but introduce new errors").
+SIDE_POOL_FAULTS = ("stray_statement", "stray_term_statement")
+
+
+def _drop_local_as(config: RouterConfig) -> None:
+    assert config.bgp is not None
+    config.bgp.asn = 0
+
+
+def _restore_statement(text: str) -> str:
+    return "maximum-paths 4;\n" + text
+
+
+def _stray_term(text: str) -> str:
+    return text + "load-balance per-packet;\n"
+
+
+def _drop_export_policy(config: RouterConfig) -> None:
+    assert config.bgp is not None
+    config.bgp.neighbors["2.3.4.5"].export_policy = None
+
+
+def _add_extra_export_policy(config: RouterConfig) -> None:
+    assert config.bgp is not None
+    config.bgp.neighbors["1.2.3.9"].export_policy = "to_provider"
+
+
+def _drop_loopback_cost(config: RouterConfig) -> None:
+    interface = config.get_interface("Loopback0")
+    assert interface is not None
+    interface.ospf_cost = None
+
+
+def _drop_loopback_passive(config: RouterConfig) -> None:
+    interface = config.get_interface("Loopback0")
+    assert interface is not None
+    interface.ospf_passive = False
+    if config.ospf is not None and "Loopback0" in config.ospf.passive_interfaces:
+        config.ospf.passive_interfaces.remove("Loopback0")
+
+
+def _drop_med(config: RouterConfig) -> None:
+    route_map = config.route_maps["to_provider"]
+    for clause in route_map.clauses:
+        clause.sets = [
+            action for action in clause.sets if not isinstance(action, SetMed)
+        ]
+
+
+def _drop_ge_range(config: RouterConfig) -> None:
+    """Replace the ranged matching with an exact /24 prefix-list.
+
+    §3.2: "it often does not translate the 'ge 24' part correctly, often
+    just omitting it, so the space of prefixes matched will differ."
+    """
+    our_base = Prefix.parse("1.2.3.0/24")
+    prefix_list = config.prefix_lists["our-networks"]
+    prefix_list.entries = [
+        PrefixListEntry(
+            seq=5,
+            action="permit",
+            range=PrefixRange.exact(our_base),
+        )
+    ]
+    for route_map in config.route_maps.values():
+        for clause in route_map.clauses:
+            clause.matches = [
+                MatchPrefixList("our-networks")
+                if isinstance(condition, MatchPrefixRanges)
+                and any(item.prefix == our_base for item in condition.ranges)
+                else condition
+                for condition in clause.matches
+            ]
+
+
+def _invalid_range_text(text: str) -> str:
+    """Swap the exact entry for GPT-4's invented ``/24-32`` syntax."""
+    return text.replace("1.2.3.0/24;", "1.2.3.0/24-32;", 1)
+
+
+def _unguard_redistribution(config: RouterConfig) -> None:
+    """Strip every ``from protocol`` guard from the export policy.
+
+    The translation then exports connected/OSPF routes the Cisco config
+    never redistributed — the difference Campion detects in §3.2.
+    """
+    route_map = config.route_maps["to_provider"]
+    for clause in route_map.clauses:
+        clause.matches = [
+            condition
+            for condition in clause.matches
+            if not isinstance(condition, MatchProtocol)
+        ]
+
+
+def translation_fault_catalog() -> Dict[str, Fault]:
+    """The full catalog, keyed by fault key."""
+    faults: List[Fault] = [
+        Fault(
+            key="missing_local_as",
+            label="Missing BGP local-as attribute",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"local AS",),
+            ir_transform=_drop_local_as,
+        ),
+        Fault(
+            key="stray_statement",
+            label="Invalid top-level statement",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"maximum-paths",),
+            text_transform=_restore_statement,
+        ),
+        Fault(
+            key="stray_term_statement",
+            label="Invalid trailing statement",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"load-balance",),
+            text_transform=_stray_term,
+        ),
+        Fault(
+            key="missing_export_policy",
+            label="Missing/extra BGP route policy",
+            category=ErrorCategory.STRUCTURAL,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"export route map for bgp neighbor 2\.3\.4\.5",),
+            ir_transform=_drop_export_policy,
+        ),
+        Fault(
+            key="extra_export_policy",
+            label="Missing/extra BGP route policy",
+            category=ErrorCategory.STRUCTURAL,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"export route map for bgp neighbor 1\.2\.3\.9",),
+            ir_transform=_add_extra_export_policy,
+        ),
+        Fault(
+            key="ospf_cost_difference",
+            label="Different OSPF link cost",
+            category=ErrorCategory.ATTRIBUTE,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"cost set to",),
+            ir_transform=_drop_loopback_cost,
+        ),
+        Fault(
+            key="ospf_passive_difference",
+            label="Different OSPF passive interface setting",
+            category=ErrorCategory.ATTRIBUTE,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"passive",),
+            ir_transform=_drop_loopback_passive,
+        ),
+        Fault(
+            key="redistribution_unguarded",
+            label="Different redistribution into BGP",
+            category=ErrorCategory.POLICY,
+            fixable_by_generated_prompt=False,
+            prompt_patterns=(r"redistribution",),
+            human_prompt_patterns=(r"from bgp", r"from protocol"),
+            human_prompt=(
+                "The translated routing policies apply to routes from any "
+                "protocol, so the router exports OSPF and connected routes "
+                "the original never redistributed. Add a 'from protocol "
+                "bgp' condition to the existing to_provider terms and keep "
+                "redistribution in its own term guarded by 'from protocol "
+                "ospf'."
+            ),
+            ir_transform=_unguard_redistribution,
+        ),
+        Fault(
+            key="wrong_med",
+            label="Setting wrong BGP MED value",
+            category=ErrorCategory.POLICY,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"MED",),
+            ir_transform=_drop_med,
+        ),
+        Fault(
+            key="dropped_ge_range",
+            label="Different prefix lengths match in BGP",
+            category=ErrorCategory.POLICY,
+            fixable_by_generated_prompt=False,
+            prompt_patterns=(r"1\.2\.3\.\d+/(2[5-9]|3[0-2])",),
+            human_prompt_patterns=(
+                r"prefix-length-range",
+                r"route-filter",
+                r"ge 24",
+            ),
+            human_prompt=(
+                "The Cisco prefix list uses 'ge 24' to match prefixes of "
+                "length 24 or greater under 1.2.3.0/24. Junos prefix-lists "
+                "cannot express this; use a route-filter with "
+                "prefix-length-range /24-/32 in the policy terms instead."
+            ),
+            ir_transform=_drop_ge_range,
+            successor_key="invalid_prefix_list_syntax",
+        ),
+        Fault(
+            key="invalid_prefix_list_syntax",
+            label="Invalid syntax for prefix lists",
+            category=ErrorCategory.SYNTAX,
+            fixable_by_generated_prompt=True,
+            prompt_patterns=(r"24-32", r"syntax error.*prefix-list"),
+            ir_transform=_drop_ge_range,
+            text_transform=_invalid_range_text,
+        ),
+    ]
+    return {fault.key: fault for fault in faults}

@@ -1,0 +1,88 @@
+"""BGP process and neighbor model.
+
+Covers the feature surface the paper exercises: neighbor declarations
+with remote AS, per-neighbor import/export route maps, advertised
+networks, and redistribution (whose Cisco/Juniper asymmetry drives the
+"Different redistribution into BGP" row of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ip import Ipv4Address, Prefix
+from .route import Protocol
+
+__all__ = ["BgpNeighbor", "BgpProcess", "Redistribution"]
+
+
+@dataclass
+class BgpNeighbor:
+    """A BGP neighbor (peer) declaration.
+
+    ``import_policy``/``export_policy`` name route maps applied to
+    routes received from / advertised to the peer.  ``local_as`` being
+    unset on Juniper is Table 2's "Missing BGP local-as attribute" row —
+    it parses as a warning because the session cannot establish.
+    """
+
+    ip: Ipv4Address
+    remote_as: int
+    description: str = ""
+    import_policy: Optional[str] = None
+    export_policy: Optional[str] = None
+    local_as: Optional[int] = None
+    next_hop_self: bool = False
+    send_community: bool = False
+    peer_group: Optional[str] = None
+
+    def key(self) -> str:
+        """Stable identity used by differs and the topology verifier."""
+        return str(self.ip)
+
+
+@dataclass
+class Redistribution:
+    """A redistribution directive into BGP.
+
+    On Cisco this is ``redistribute <protocol> [route-map NAME]`` under
+    ``router bgp``; on Juniper redistribution happens implicitly through
+    export policies matching ``from protocol``.
+    """
+
+    protocol: Protocol
+    route_map: Optional[str] = None
+
+
+@dataclass
+class BgpProcess:
+    """The ``router bgp <asn>`` block of a configuration."""
+
+    asn: int
+    router_id: Optional[Ipv4Address] = None
+    networks: List[Prefix] = field(default_factory=list)
+    neighbors: Dict[str, BgpNeighbor] = field(default_factory=dict)
+    redistributions: List[Redistribution] = field(default_factory=list)
+
+    def add_neighbor(self, neighbor: BgpNeighbor) -> BgpNeighbor:
+        self.neighbors[neighbor.key()] = neighbor
+        return neighbor
+
+    def get_neighbor(self, ip: "Ipv4Address | str") -> Optional[BgpNeighbor]:
+        return self.neighbors.get(str(ip))
+
+    def remove_neighbor(self, ip: "Ipv4Address | str") -> None:
+        self.neighbors.pop(str(ip), None)
+
+    def announce(self, prefix: Prefix) -> None:
+        """Add a ``network`` statement if not already present."""
+        if prefix not in self.networks:
+            self.networks.append(prefix)
+
+    def announces(self, prefix: Prefix) -> bool:
+        return prefix in self.networks
+
+    def sorted_neighbors(self) -> List[BgpNeighbor]:
+        """Neighbors in address order, for deterministic rendering."""
+        return sorted(self.neighbors.values(), key=lambda item: item.ip)

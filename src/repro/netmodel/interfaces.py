@@ -1,0 +1,65 @@
+"""Interface model shared by both vendors.
+
+Interfaces carry the attributes the experiments verify: an address, an
+OSPF cost, and an OSPF passive flag (the two attribute-difference rows of
+Table 2), plus the physical naming needed by the topology verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ip import Ipv4Address, Prefix
+
+__all__ = ["Interface"]
+
+
+@dataclass
+class Interface:
+    """A router interface.
+
+    ``address`` is the interface's own address; ``prefix`` the connected
+    subnet.  ``ospf_cost`` of ``None`` means the vendor default (the
+    Table 2 OSPF-cost row is a translated ``None`` vs explicit 0
+    mismatch).
+    """
+
+    name: str
+    address: Optional[Ipv4Address] = None
+    prefix: Optional[Prefix] = None
+    description: str = ""
+    ospf_cost: Optional[int] = None
+    ospf_passive: bool = False
+    ospf_area: Optional[int] = None
+    shutdown: bool = False
+    unit: int = 0
+
+    @classmethod
+    def with_address(cls, name: str, cidr: str, **kwargs: object) -> "Interface":
+        """Build from ``a.b.c.d/len`` where the address keeps host bits.
+
+        >>> iface = Interface.with_address("eth0/1", "2.0.0.1/24")
+        >>> str(iface.address), str(iface.prefix)
+        ('2.0.0.1', '2.0.0.0/24')
+        """
+        addr_part, _, len_part = cidr.partition("/")
+        address = Ipv4Address.parse(addr_part)
+        prefix = Prefix.parse(f"{addr_part}/{len_part}")
+        return cls(name=name, address=address, prefix=prefix, **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def connected_prefix(self) -> Optional[Prefix]:
+        """The subnet this interface attaches to (alias for ``prefix``)."""
+        return self.prefix
+
+    def cidr(self) -> str:
+        """Render ``address/length`` or raise if unnumbered."""
+        if self.address is None or self.prefix is None:
+            raise ValueError(f"interface {self.name} has no address")
+        return f"{self.address}/{self.prefix.length}"
+
+    def is_loopback(self) -> bool:
+        """True for loopback interfaces on either vendor naming scheme."""
+        lowered = self.name.lower()
+        return lowered.startswith("loopback") or lowered.startswith("lo")

@@ -1,0 +1,104 @@
+"""Route announcements: the values that route policies transform.
+
+A :class:`Route` models a BGP route advertisement as seen by a route map:
+a prefix plus the attributes the paper's experiments manipulate (MED,
+local preference, communities, AS path, origin protocol).  Routes are
+immutable; policy evaluation returns transformed copies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional
+
+from .aspath import AsPath
+from .communities import Community
+from .ip import Ipv4Address, Prefix
+
+__all__ = ["Origin", "Protocol", "Route"]
+
+
+class Origin(enum.Enum):
+    """BGP origin attribute."""
+
+    IGP = "igp"
+    EGP = "egp"
+    INCOMPLETE = "incomplete"
+
+
+class Protocol(enum.Enum):
+    """The protocol a route was learned from.
+
+    ``match protocol``/``from bgp`` conditions in redistribution policies
+    depend on this; the paper's redistribution bug (§3.2) is exactly a
+    missing ``from bgp`` condition.
+    """
+
+    BGP = "bgp"
+    OSPF = "ospf"
+    CONNECTED = "connected"
+    STATIC = "static"
+    AGGREGATE = "aggregate"
+
+
+DEFAULT_LOCAL_PREF = 100
+
+
+@dataclass(frozen=True)
+class Route:
+    """An immutable route advertisement.
+
+    >>> route = Route(prefix=Prefix.parse("1.2.3.0/24"))
+    >>> route.with_med(50).med
+    50
+    """
+
+    prefix: Prefix
+    as_path: AsPath = field(default_factory=AsPath)
+    communities: FrozenSet[Community] = frozenset()
+    med: int = 0
+    local_pref: int = DEFAULT_LOCAL_PREF
+    origin: Origin = Origin.IGP
+    protocol: Protocol = Protocol.BGP
+    next_hop: Optional[Ipv4Address] = None
+
+    def with_community_added(self, community: Community) -> "Route":
+        """Additive community set (Cisco ``set community X additive``)."""
+        return replace(self, communities=self.communities | {community})
+
+    def with_communities_replaced(self, community: Community) -> "Route":
+        """Non-additive set: replaces every existing community.
+
+        This is the behaviour the paper's IIP exists to avoid (§4.2,
+        "Adding Communities").
+        """
+        return replace(self, communities=frozenset({community}))
+
+    def with_med(self, med: int) -> "Route":
+        return replace(self, med=med)
+
+    def with_local_pref(self, local_pref: int) -> "Route":
+        return replace(self, local_pref=local_pref)
+
+    def with_next_hop(self, next_hop: Ipv4Address) -> "Route":
+        return replace(self, next_hop=next_hop)
+
+    def with_as_prepended(self, asn: int, count: int = 1) -> "Route":
+        return replace(self, as_path=self.as_path.prepend(asn, count))
+
+    def with_protocol(self, protocol: Protocol) -> "Route":
+        return replace(self, protocol=protocol)
+
+    def describe(self) -> str:
+        """One-line rendering used in humanized counterexamples."""
+        communities = (
+            "{" + ", ".join(sorted(str(c) for c in self.communities)) + "}"
+            if self.communities
+            else "{}"
+        )
+        return (
+            f"prefix {self.prefix}, as-path [{self.as_path}], "
+            f"communities {communities}, med {self.med}, "
+            f"local-pref {self.local_pref}"
+        )

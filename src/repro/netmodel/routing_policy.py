@@ -1,0 +1,392 @@
+"""Route maps / routing policies: the vendor-neutral policy IR.
+
+Both Cisco route-maps and Junos policy-statements lower to a
+:class:`RouteMap` of ordered :class:`RouteMapClause` objects, each with a
+set of match conditions (conjunctive — *all* must hold, which is the AND
+semantics whose misunderstanding by GPT-4 the paper documents in §4.2)
+and a list of attribute transformations applied on permit.
+
+Evaluation requires a :class:`PolicyContext` that resolves named prefix
+lists, community lists, and AS-path lists; :class:`~repro.netmodel.device.
+RouterConfig` implements it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol as TypingProtocol, Sequence, Tuple
+
+from .acl import AccessList
+from .aspath import AsPathAccessList
+from .communities import Community, CommunityList
+from .ip import Ipv4Address, PrefixRange
+from .prefixlist import PrefixList
+from .route import Protocol, Route
+
+__all__ = [
+    "Action",
+    "MatchAcl",
+    "MatchCondition",
+    "MatchPrefixList",
+    "MatchPrefixRanges",
+    "MatchCommunityList",
+    "MatchCommunityInline",
+    "MatchAsPathList",
+    "MatchProtocol",
+    "SetAction",
+    "SetCommunity",
+    "SetMed",
+    "SetLocalPref",
+    "SetNextHop",
+    "SetAsPathPrepend",
+    "RouteMapClause",
+    "RouteMap",
+    "PolicyContext",
+    "PolicyResult",
+    "PolicyEvaluationError",
+]
+
+
+class Action(enum.Enum):
+    """Terminal disposition of a clause."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class PolicyEvaluationError(Exception):
+    """Raised when a policy references an undefined named structure."""
+
+
+class PolicyContext(TypingProtocol):
+    """Resolves names referenced by match conditions."""
+
+    def get_prefix_list(self, name: str) -> Optional[PrefixList]:
+        """Look up a prefix list by name, or None."""
+
+    def get_community_list(self, name: str) -> Optional[CommunityList]:
+        """Look up a community list by name, or None."""
+
+    def get_as_path_list(self, name: str) -> Optional[AsPathAccessList]:
+        """Look up an AS-path access list by name, or None."""
+
+    def get_access_list(self, name: str) -> Optional[AccessList]:
+        """Look up an IPv4 access list by name or number, or None."""
+
+
+@dataclass(frozen=True)
+class MatchCondition:
+    """Base class for match conditions; subclasses are frozen dataclasses."""
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MatchPrefixList(MatchCondition):
+    """``match ip address prefix-list NAME`` / ``from prefix-list NAME``."""
+
+    name: str
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        prefix_list = context.get_prefix_list(self.name)
+        if prefix_list is None:
+            raise PolicyEvaluationError(f"undefined prefix-list {self.name!r}")
+        return prefix_list.permits(route.prefix)
+
+    def describe(self) -> str:
+        return f"prefix-list {self.name}"
+
+
+@dataclass(frozen=True)
+class MatchAcl(MatchCondition):
+    """``match ip address <acl-name-or-number>`` — a standard ACL used
+    as a route filter (§3.1's other policy-difference source)."""
+
+    name: str
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        access_list = context.get_access_list(self.name)
+        if access_list is None:
+            raise PolicyEvaluationError(f"undefined access-list {self.name!r}")
+        return access_list.permits_prefix(route.prefix)
+
+    def describe(self) -> str:
+        return f"access-list {self.name}"
+
+
+@dataclass(frozen=True)
+class MatchPrefixRanges(MatchCondition):
+    """Junos inline ``route-filter`` terms (disjunction over ranges)."""
+
+    ranges: Tuple[PrefixRange, ...]
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        return any(item.matches(route.prefix) for item in self.ranges)
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(item) for item in self.ranges)
+        return f"route-filter [{rendered}]"
+
+
+@dataclass(frozen=True)
+class MatchCommunityList(MatchCondition):
+    """``match community LIST`` (Cisco) / ``from community NAME`` (Junos)."""
+
+    name: str
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        community_list = context.get_community_list(self.name)
+        if community_list is None:
+            raise PolicyEvaluationError(f"undefined community-list {self.name!r}")
+        return community_list.permits(route.communities)
+
+    def describe(self) -> str:
+        return f"community-list {self.name}"
+
+
+@dataclass(frozen=True)
+class MatchCommunityInline(MatchCondition):
+    """A literal community in a match position.
+
+    ``match community 100:1`` is *invalid* IOS — the paper's §4.2 "Match
+    Community" IIP exists precisely because GPT-4 keeps generating it.
+    The IR keeps the form so the syntax verifier can diagnose it; if it is
+    ever evaluated we fall back to the intuitive meaning.
+    """
+
+    community: Community
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        return self.community in route.communities
+
+    def describe(self) -> str:
+        return f"community {self.community} (inline; invalid IOS syntax)"
+
+
+@dataclass(frozen=True)
+class MatchAsPathList(MatchCondition):
+    """``match as-path NAME`` against an AS-path access list."""
+
+    name: str
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        as_path_list = context.get_as_path_list(self.name)
+        if as_path_list is None:
+            raise PolicyEvaluationError(f"undefined as-path list {self.name!r}")
+        return as_path_list.permits(route.as_path)
+
+    def describe(self) -> str:
+        return f"as-path list {self.name}"
+
+
+@dataclass(frozen=True)
+class MatchProtocol(MatchCondition):
+    """Junos ``from protocol bgp`` — the redistribution guard of §3.2."""
+
+    protocol: Protocol
+
+    def matches(self, route: Route, context: PolicyContext) -> bool:
+        return route.protocol == self.protocol
+
+    def describe(self) -> str:
+        return f"protocol {self.protocol.value}"
+
+
+@dataclass(frozen=True)
+class SetAction:
+    """Base class for attribute transformations."""
+
+    def apply(self, route: Route) -> Route:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SetCommunity(SetAction):
+    """``set community X [additive]`` / ``then community add NAME``.
+
+    ``additive=False`` replaces all communities — the paper's "Adding
+    Communities" IIP (§4.2) exists because GPT-4 omits ``additive``.
+    """
+
+    communities: Tuple[Community, ...]
+    additive: bool = False
+
+    def apply(self, route: Route) -> Route:
+        if self.additive:
+            updated = route
+            for community in self.communities:
+                updated = updated.with_community_added(community)
+            return updated
+        if not self.communities:
+            return route
+        updated = route.with_communities_replaced(self.communities[0])
+        for community in self.communities[1:]:
+            updated = updated.with_community_added(community)
+        return updated
+
+    def describe(self) -> str:
+        rendered = " ".join(str(item) for item in self.communities)
+        suffix = " additive" if self.additive else ""
+        return f"set community {rendered}{suffix}"
+
+
+@dataclass(frozen=True)
+class SetMed(SetAction):
+    """``set metric N`` — MED, the attribute of Table 2's policy error."""
+
+    med: int
+
+    def apply(self, route: Route) -> Route:
+        return route.with_med(self.med)
+
+    def describe(self) -> str:
+        return f"set metric {self.med}"
+
+
+@dataclass(frozen=True)
+class SetLocalPref(SetAction):
+    """``set local-preference N``."""
+
+    local_pref: int
+
+    def apply(self, route: Route) -> Route:
+        return route.with_local_pref(self.local_pref)
+
+    def describe(self) -> str:
+        return f"set local-preference {self.local_pref}"
+
+
+@dataclass(frozen=True)
+class SetNextHop(SetAction):
+    """``set ip next-hop A.B.C.D``."""
+
+    next_hop: Ipv4Address
+
+    def apply(self, route: Route) -> Route:
+        return route.with_next_hop(self.next_hop)
+
+    def describe(self) -> str:
+        return f"set ip next-hop {self.next_hop}"
+
+
+@dataclass(frozen=True)
+class SetAsPathPrepend(SetAction):
+    """``set as-path prepend ASN [ASN ...]``."""
+
+    asn: int
+    count: int = 1
+
+    def apply(self, route: Route) -> Route:
+        return route.with_as_prepended(self.asn, self.count)
+
+    def describe(self) -> str:
+        return f"set as-path prepend {' '.join([str(self.asn)] * self.count)}"
+
+
+@dataclass
+class RouteMapClause:
+    """One sequenced stanza/term of a route map.
+
+    All match conditions must hold for the clause to fire (AND).  On a
+    permit, every set action is applied in order.
+    """
+
+    seq: int
+    action: Action
+    matches: List[MatchCondition] = field(default_factory=list)
+    sets: List[SetAction] = field(default_factory=list)
+    term_name: Optional[str] = None
+
+    def fires(self, route: Route, context: PolicyContext) -> bool:
+        """True when every match condition accepts the route."""
+        return all(condition.matches(route, context) for condition in self.matches)
+
+    def describe(self) -> str:
+        label = self.term_name or str(self.seq)
+        matches = "; ".join(c.describe() for c in self.matches) or "any"
+        sets = "; ".join(s.describe() for s in self.sets) or "none"
+        return f"clause {label} {self.action}: match [{matches}] set [{sets}]"
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Outcome of evaluating a route map on a route."""
+
+    action: Action
+    route: Route
+    clause_seq: Optional[int] = None
+
+    @property
+    def permitted(self) -> bool:
+        return self.action is Action.PERMIT
+
+
+@dataclass
+class RouteMap:
+    """A named, ordered route map (first matching clause is terminal).
+
+    A route matching no clause is denied, mirroring the implicit deny of
+    a Cisco route-map used as a BGP neighbor policy.
+    """
+
+    name: str
+    clauses: List[RouteMapClause] = field(default_factory=list)
+
+    def add_clause(self, clause: RouteMapClause) -> RouteMapClause:
+        self.clauses.append(clause)
+        self.clauses.sort(key=lambda item: item.seq)
+        return clause
+
+    def get_clause(self, seq: int) -> Optional[RouteMapClause]:
+        for clause in self.clauses:
+            if clause.seq == seq:
+                return clause
+        return None
+
+    def evaluate(self, route: Route, context: PolicyContext) -> PolicyResult:
+        """Run the route through the map, returning disposition + route."""
+        for clause in self.clauses:
+            if clause.fires(route, context):
+                if clause.action is Action.DENY:
+                    return PolicyResult(Action.DENY, route, clause.seq)
+                transformed = route
+                for set_action in clause.sets:
+                    transformed = set_action.apply(transformed)
+                return PolicyResult(Action.PERMIT, transformed, clause.seq)
+        return PolicyResult(Action.DENY, route, None)
+
+    def referenced_prefix_lists(self) -> List[str]:
+        """Names of prefix lists this map depends on."""
+        names = []
+        for clause in self.clauses:
+            for condition in clause.matches:
+                if isinstance(condition, MatchPrefixList):
+                    names.append(condition.name)
+        return names
+
+    def referenced_community_lists(self) -> List[str]:
+        """Names of community lists this map depends on."""
+        names = []
+        for clause in self.clauses:
+            for condition in clause.matches:
+                if isinstance(condition, MatchCommunityList):
+                    names.append(condition.name)
+        return names
+
+
+def permit_all(name: str) -> RouteMap:
+    """A route map with a single unconditional permit clause."""
+    route_map = RouteMap(name)
+    route_map.add_clause(RouteMapClause(seq=10, action=Action.PERMIT))
+    return route_map

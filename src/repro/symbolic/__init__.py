@@ -1,0 +1,33 @@
+"""Symbolic route-policy analysis.
+
+Implements the analysis primitives the paper borrows from Batfish and
+Campion: finding witness routes a policy permits/denies
+(:func:`search_route_policies`) and finding routes on which two policies
+behave differently (:func:`compare_policies`), both over a structured
+candidate grid that covers every region the policies' guards can
+distinguish.
+"""
+
+from .candidates import (
+    CandidateUniverse,
+    mentioned_communities,
+    mentioned_prefix_ranges,
+    mentioned_protocols,
+)
+from .constraints import RouteConstraint
+from .diff import BehaviorDifference, DifferenceKind, compare_policies
+from .search import PolicySearchResult, policy_always, search_route_policies
+
+__all__ = [
+    "BehaviorDifference",
+    "CandidateUniverse",
+    "DifferenceKind",
+    "PolicySearchResult",
+    "RouteConstraint",
+    "compare_policies",
+    "mentioned_communities",
+    "mentioned_prefix_ranges",
+    "mentioned_protocols",
+    "policy_always",
+    "search_route_policies",
+]

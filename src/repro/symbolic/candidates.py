@@ -1,0 +1,211 @@
+"""Structured candidate-route enumeration for policy analysis.
+
+The route-map guard language used by the experiments tests only three
+kinds of facts about a route: membership of its prefix in mentioned
+prefix ranges, presence of mentioned communities, and its source
+protocol.  The analysis therefore enumerates a finite candidate set that
+exercises every *region* those predicates can distinguish:
+
+* for each mentioned :class:`PrefixRange` — the base prefix, examples at
+  the boundary lengths (``low``, ``low+1``, midpoint, ``high``), a
+  sibling prefix outside the range's cone, and a canonical prefix
+  disjoint from everything mentioned;
+* every subset of mentioned communities up to a configurable size (plus
+  the empty and the full set);
+* every mentioned protocol plus BGP/OSPF/CONNECTED defaults.
+
+Evaluating the real (concrete) route-map on this grid gives a sound and,
+for the guard language above, effectively exhaustive search — the same
+role Batfish's BDD-based engine plays for SearchRoutePolicies, at a
+scale a pure-Python reproduction can afford.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..netmodel.communities import Community
+from ..netmodel.device import RouterConfig
+from ..netmodel.ip import Prefix, PrefixRange
+from ..netmodel.route import Protocol, Route
+from ..netmodel.routing_policy import (
+    MatchAcl,
+    MatchCommunityInline,
+    MatchCommunityList,
+    MatchPrefixList,
+    MatchPrefixRanges,
+    MatchProtocol,
+    RouteMap,
+    SetCommunity,
+)
+from .constraints import RouteConstraint
+
+__all__ = [
+    "CandidateUniverse",
+    "mentioned_communities",
+    "mentioned_prefix_ranges",
+    "mentioned_protocols",
+]
+
+# A prefix no experiment config mentions, exercising the "everything
+# else" region of the prefix algebra.
+_CANONICAL_OUTSIDE = Prefix.parse("203.0.113.0/24")
+
+MAX_COMMUNITY_SUBSET = 2
+
+
+def mentioned_prefix_ranges(
+    config: RouterConfig, route_map: RouteMap
+) -> List[PrefixRange]:
+    """All prefix ranges the policy can test, resolved through the config."""
+    ranges: List[PrefixRange] = []
+    for clause in route_map.clauses:
+        for condition in clause.matches:
+            if isinstance(condition, MatchPrefixRanges):
+                ranges.extend(condition.ranges)
+            elif isinstance(condition, MatchPrefixList):
+                prefix_list = config.get_prefix_list(condition.name)
+                if prefix_list is not None:
+                    ranges.extend(entry.range for entry in prefix_list.entries)
+            elif isinstance(condition, MatchAcl):
+                access_list = config.get_access_list(condition.name)
+                if access_list is not None:
+                    ranges.extend(access_list.permitted_ranges())
+    return _dedupe(ranges)
+
+
+def mentioned_communities(
+    config: RouterConfig, route_map: RouteMap
+) -> List[Community]:
+    """All communities the policy can test or set."""
+    values: List[Community] = []
+    for clause in route_map.clauses:
+        for condition in clause.matches:
+            if isinstance(condition, MatchCommunityList):
+                community_list = config.get_community_list(condition.name)
+                if community_list is not None:
+                    for entry in community_list.entries:
+                        values.extend(entry.communities)
+            elif isinstance(condition, MatchCommunityInline):
+                values.append(condition.community)
+        for set_action in clause.sets:
+            if isinstance(set_action, SetCommunity):
+                values.extend(set_action.communities)
+    return _dedupe(values)
+
+
+def mentioned_protocols(route_map: RouteMap) -> List[Protocol]:
+    """All protocols the policy can test."""
+    values: List[Protocol] = []
+    for clause in route_map.clauses:
+        for condition in clause.matches:
+            if isinstance(condition, MatchProtocol):
+                values.append(condition.protocol)
+    return _dedupe(values)
+
+
+class CandidateUniverse:
+    """A candidate-route grid built from one or more policies.
+
+    Multiple (config, route_map) pairs can contribute structure — the
+    Campion differ feeds both the original and the translation so the
+    grid distinguishes every region either policy can see.
+    """
+
+    def __init__(self) -> None:
+        self._ranges: List[PrefixRange] = []
+        self._communities: List[Community] = []
+        self._protocols: List[Protocol] = []
+
+    def add_policy(self, config: RouterConfig, route_map: RouteMap) -> None:
+        self._ranges = _dedupe(
+            self._ranges + mentioned_prefix_ranges(config, route_map)
+        )
+        self._communities = _dedupe(
+            self._communities + mentioned_communities(config, route_map)
+        )
+        self._protocols = _dedupe(self._protocols + mentioned_protocols(route_map))
+
+    def add_constraint(self, constraint: RouteConstraint) -> None:
+        self._ranges = _dedupe(self._ranges + list(constraint.prefix_ranges))
+        self._communities = _dedupe(
+            self._communities
+            + sorted(constraint.required_communities)
+            + sorted(constraint.forbidden_communities)
+        )
+        if constraint.protocol is not None:
+            self._protocols = _dedupe(self._protocols + [constraint.protocol])
+
+    def add_prefix(self, prefix: Prefix) -> None:
+        self._ranges = _dedupe(self._ranges + [PrefixRange.exact(prefix)])
+
+    # -- grid construction ---------------------------------------------------
+
+    def candidate_prefixes(self) -> List[Prefix]:
+        prefixes: Set[Prefix] = {_CANONICAL_OUTSIDE}
+        for item in self._ranges:
+            base = item.prefix
+            prefixes.add(base)
+            lengths = {
+                item.low,
+                min(item.low + 1, item.high),
+                (item.low + item.high) // 2,
+                item.high,
+            }
+            for length in lengths:
+                prefixes.add(Prefix(base.network, length))
+            if base.length > 0:
+                sibling_bit = 1 << (32 - base.length)
+                prefixes.add(Prefix(base.network ^ sibling_bit, base.length))
+                prefixes.add(Prefix(base.network, base.length - 1))
+        return sorted(prefixes)
+
+    def candidate_community_sets(self) -> List[FrozenSet[Community]]:
+        sets: Set[FrozenSet[Community]] = {frozenset()}
+        values = self._communities
+        for size in range(1, min(MAX_COMMUNITY_SUBSET, len(values)) + 1):
+            for combo in itertools.combinations(values, size):
+                sets.add(frozenset(combo))
+        if values:
+            sets.add(frozenset(values))
+        return sorted(sets, key=lambda item: (len(item), sorted(map(str, item))))
+
+    def candidate_protocols(self) -> List[Protocol]:
+        return _dedupe(
+            self._protocols + [Protocol.BGP, Protocol.OSPF, Protocol.CONNECTED]
+        )
+
+    def routes(
+        self, constraint: "RouteConstraint | None" = None
+    ) -> Iterable[Route]:
+        """Yield the grid, filtered by an optional input constraint."""
+        for prefix in self.candidate_prefixes():
+            for communities in self.candidate_community_sets():
+                for protocol in self.candidate_protocols():
+                    route = Route(
+                        prefix=prefix,
+                        communities=communities,
+                        protocol=protocol,
+                    )
+                    if constraint is None or constraint.admits(route):
+                        yield route
+
+    def size_estimate(self) -> int:
+        """Grid cardinality before constraint filtering."""
+        return (
+            len(self.candidate_prefixes())
+            * len(self.candidate_community_sets())
+            * len(self.candidate_protocols())
+        )
+
+
+def _dedupe(items: Sequence) -> List:
+    """Order-preserving deduplication (hashable items)."""
+    seen = set()
+    result = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result

@@ -1,0 +1,34 @@
+"""Topology: JSON network model, star generator (Figure 4), and the
+paper's custom topology verifier (Table 3)."""
+
+from .generator import StarNetwork, generate_star_network, ingress_community
+from .model import (
+    ExternalPeer,
+    InterfaceSpec,
+    Link,
+    NeighborSpec,
+    RouterSpec,
+    Topology,
+)
+from .verifier import (
+    TopologyIssue,
+    TopologyIssueKind,
+    verify_network,
+    verify_topology,
+)
+
+__all__ = [
+    "ExternalPeer",
+    "InterfaceSpec",
+    "Link",
+    "NeighborSpec",
+    "RouterSpec",
+    "StarNetwork",
+    "Topology",
+    "TopologyIssue",
+    "TopologyIssueKind",
+    "generate_star_network",
+    "ingress_community",
+    "verify_network",
+    "verify_topology",
+]

@@ -1,0 +1,170 @@
+"""Reference no-transit configurations for a star topology.
+
+This is the ground truth for the local-synthesis use case (§4): for each
+router of the star, the config a competent operator would write.  The
+hub (R1) carries all the policy — per the paper, "R1 should add a
+specific community at the ingress to each ISP and then drop routes based
+on those communities at the egress to each ISP" — while the spokes just
+set up interfaces, neighbors, and networks.
+
+Community-list numbering follows §4.2's example: list ``1`` permits
+``100:1`` (R2's tag), list ``2`` permits ``101:1`` (R3's), and so on —
+list ``j-1`` holds ``R<j>``'s ingress tag.  The egress filter to ``Ri``
+uses one ``deny`` stanza per *other* ISP's list (separate stanzas, i.e.
+OR semantics — the correct form GPT-4 needed a human prompt to reach).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netmodel.bgp import BgpNeighbor
+from ..netmodel.communities import CommunityList, CommunityListEntry
+from ..netmodel.device import RouterConfig, Vendor
+from ..netmodel.interfaces import Interface
+from ..netmodel.routing_policy import (
+    Action,
+    MatchCommunityList,
+    RouteMap,
+    RouteMapClause,
+    SetCommunity,
+)
+from .generator import ingress_community
+from .model import RouterSpec, Topology
+
+__all__ = [
+    "build_reference_configs",
+    "build_spoke_config",
+    "build_hub_config",
+    "community_list_number",
+    "egress_map_name",
+    "ingress_map_name",
+]
+
+
+def community_list_number(router_index: int) -> int:
+    """The community-list number holding R<router_index>'s ingress tag."""
+    if router_index < 2:
+        raise ValueError("only spoke routers have ingress tags")
+    return router_index - 1
+
+
+def ingress_map_name(router_index: int) -> str:
+    return f"ADD_COMM_R{router_index}"
+
+
+def egress_map_name(router_index: int) -> str:
+    return f"FILTER_COMM_OUT_R{router_index}"
+
+
+def build_reference_configs(topology: Topology) -> Dict[str, RouterConfig]:
+    """Reference configs for every router of the star."""
+    configs: Dict[str, RouterConfig] = {}
+    spoke_indices = _spoke_indices(topology)
+    for name in topology.router_names():
+        spec = topology.router(name)
+        if name == "R1":
+            configs[name] = build_hub_config(spec, spoke_indices)
+        else:
+            configs[name] = build_spoke_config(spec)
+    return configs
+
+
+def build_spoke_config(spec: RouterSpec) -> RouterConfig:
+    """A plain spoke: interfaces, BGP neighbors, announced networks."""
+    config = RouterConfig(hostname=spec.name, vendor=Vendor.CISCO)
+    _apply_interfaces(config, spec)
+    bgp = config.ensure_bgp(spec.asn)
+    bgp.router_id = spec.router_id
+    for network in spec.networks:
+        bgp.announce(network)
+    for neighbor_spec in spec.neighbors:
+        bgp.add_neighbor(
+            BgpNeighbor(
+                ip=neighbor_spec.ip,
+                remote_as=neighbor_spec.asn,
+                send_community=True,
+            )
+        )
+    return config
+
+
+def build_hub_config(spec: RouterSpec, spoke_indices: List[int]) -> RouterConfig:
+    """The hub with the full ingress-tag / egress-filter policy."""
+    config = RouterConfig(hostname=spec.name, vendor=Vendor.CISCO)
+    _apply_interfaces(config, spec)
+    bgp = config.ensure_bgp(spec.asn)
+    bgp.router_id = spec.router_id
+    for network in spec.networks:
+        bgp.announce(network)
+    for index in spoke_indices:
+        tag = ingress_community(index)
+        community_list = CommunityList(str(community_list_number(index)))
+        community_list.add(
+            CommunityListEntry(action="permit", communities=(tag,))
+        )
+        config.add_community_list(community_list)
+    for index in spoke_indices:
+        config.add_route_map(_ingress_map(index))
+        config.add_route_map(_egress_map(index, spoke_indices))
+    for neighbor_spec in spec.neighbors:
+        neighbor = BgpNeighbor(
+            ip=neighbor_spec.ip,
+            remote_as=neighbor_spec.asn,
+            send_community=True,
+        )
+        if neighbor_spec.peer_name.startswith("R"):
+            index = int(neighbor_spec.peer_name[1:])
+            neighbor.import_policy = ingress_map_name(index)
+            neighbor.export_policy = egress_map_name(index)
+        bgp.add_neighbor(neighbor)
+    return config
+
+
+def _ingress_map(index: int) -> RouteMap:
+    """``ADD_COMM_Ri``: tag everything arriving from Ri, additively."""
+    route_map = RouteMap(ingress_map_name(index))
+    clause = RouteMapClause(seq=10, action=Action.PERMIT)
+    clause.sets.append(SetCommunity((ingress_community(index),), additive=True))
+    route_map.add_clause(clause)
+    return route_map
+
+
+def _egress_map(index: int, spoke_indices: List[int]) -> RouteMap:
+    """``FILTER_COMM_OUT_Ri``: drop other ISPs' tags, then permit.
+
+    One deny stanza per community list — separate stanzas give the OR
+    semantics the no-transit policy requires (§4.2's AND/OR lesson).
+    """
+    route_map = RouteMap(egress_map_name(index))
+    seq = 10
+    for other in spoke_indices:
+        if other == index:
+            continue
+        clause = RouteMapClause(seq=seq, action=Action.DENY)
+        clause.matches.append(
+            MatchCommunityList(str(community_list_number(other)))
+        )
+        route_map.add_clause(clause)
+        seq += 10
+    route_map.add_clause(RouteMapClause(seq=seq, action=Action.PERMIT))
+    return route_map
+
+
+def _apply_interfaces(config: RouterConfig, spec: RouterSpec) -> None:
+    for interface_spec in spec.interfaces:
+        config.add_interface(
+            Interface(
+                name=interface_spec.name,
+                address=interface_spec.address,
+                prefix=interface_spec.prefix,
+            )
+        )
+
+
+def _spoke_indices(topology: Topology) -> List[int]:
+    indices = []
+    for name in topology.router_names():
+        if name != "R1":
+            indices.append(int(name[1:]))
+    return indices

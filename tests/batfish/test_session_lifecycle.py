@@ -1,0 +1,52 @@
+"""Session lifecycle: snapshot re-initialization and simulation caching."""
+
+from repro.batfish import Session
+
+
+_A = (
+    "hostname A\n"
+    "interface eth0\n ip address 1.0.0.1 255.255.255.0\n"
+    "router bgp 1\n"
+    " network 10.1.0.0 mask 255.255.0.0\n"
+    " neighbor 1.0.0.2 remote-as 2\n"
+)
+_B = (
+    "hostname B\n"
+    "interface eth0\n ip address 1.0.0.2 255.255.255.0\n"
+    "router bgp 2\n"
+    " neighbor 1.0.0.1 remote-as 1\n"
+)
+
+
+class TestSessionLifecycle:
+    def test_simulation_is_cached(self):
+        session = Session()
+        session.init_snapshot_from_texts({"a.cfg": _A, "b.cfg": _B})
+        assert session.simulation() is session.simulation()
+
+    def test_reinit_resets_simulation(self):
+        session = Session()
+        session.init_snapshot_from_texts({"a.cfg": _A, "b.cfg": _B})
+        first = session.simulation()
+        session.init_snapshot_from_texts({"a.cfg": _A})
+        assert session.simulation() is not first
+
+    def test_reinit_replaces_snapshot(self):
+        session = Session()
+        session.init_snapshot_from_texts({"a.cfg": _A, "b.cfg": _B})
+        session.init_snapshot_from_texts({"a.cfg": _A}, name="solo")
+        assert session.snapshot.hostnames() == ["A"]
+        assert session.snapshot.name == "solo"
+
+    def test_config_of_accepts_filename(self):
+        session = Session()
+        session.init_snapshot_from_texts({"a.cfg": _A})
+        assert session.config_of("A").hostname == "A"
+        assert session.config_of("a.cfg").hostname == "A"
+
+    def test_routes_after_reinit(self):
+        session = Session()
+        session.init_snapshot_from_texts({"a.cfg": _A, "b.cfg": _B})
+        assert session.q.reachable("B", "10.1.0.0/16")
+        session.init_snapshot_from_texts({"a.cfg": _A})
+        assert not session.q.reachable("A", "99.0.0.0/8")

@@ -1,0 +1,92 @@
+"""Tests for structural mismatch detection."""
+
+import copy
+
+import pytest
+
+from repro.campion import FindingSide, find_structural_mismatches
+from repro.juniper import translate_cisco_to_juniper
+from repro.sampleconfigs import load_translation_source
+
+
+@pytest.fixture()
+def pair():
+    source = load_translation_source()
+    translated, _ = translate_cisco_to_juniper(load_translation_source())
+    return source, translated
+
+
+class TestStructuralMismatches:
+    def test_clean_pair_has_none(self, pair):
+        source, translated = pair
+        assert find_structural_mismatches(source, translated) == []
+
+    def test_missing_neighbor(self, pair):
+        source, translated = pair
+        translated.bgp.remove_neighbor("2.3.4.5")
+        findings = find_structural_mismatches(source, translated)
+        assert any(
+            f.component == "bgp neighbor"
+            and f.name == "2.3.4.5"
+            and f.present_in is FindingSide.ORIGINAL
+            for f in findings
+        )
+
+    def test_extra_neighbor(self, pair):
+        source, translated = pair
+        from repro.netmodel import BgpNeighbor, Ipv4Address
+
+        translated.bgp.add_neighbor(
+            BgpNeighbor(ip=Ipv4Address.parse("9.9.9.9"), remote_as=9)
+        )
+        findings = find_structural_mismatches(source, translated)
+        assert any(
+            f.name == "9.9.9.9" and f.present_in is FindingSide.TRANSLATION
+            for f in findings
+        )
+
+    def test_missing_export_policy_is_table1_example(self, pair):
+        """Table 1's structural-mismatch example shape."""
+        source, translated = pair
+        translated.bgp.neighbors["2.3.4.5"].export_policy = None
+        findings = find_structural_mismatches(source, translated)
+        (finding,) = [
+            f for f in findings if f.component == "export route map"
+        ]
+        text = finding.describe()
+        assert "In the original configuration" in text
+        assert "bgp neighbor 2.3.4.5" in text
+        assert "no corresponding" in text
+
+    def test_extra_import_policy(self, pair):
+        source, translated = pair
+        translated.bgp.neighbors["2.3.4.5"].import_policy = None
+        findings = find_structural_mismatches(source, translated)
+        assert any(f.component == "import route map" for f in findings)
+
+    def test_missing_interface(self, pair):
+        source, translated = pair
+        del translated.interfaces["Loopback0"]
+        findings = find_structural_mismatches(source, translated)
+        assert any(
+            f.component == "interface" and f.name == "Loopback0"
+            for f in findings
+        )
+
+    def test_missing_ospf_process(self, pair):
+        source, translated = pair
+        translated.ospf = None
+        findings = find_structural_mismatches(source, translated)
+        assert any(f.component == "OSPF process" for f in findings)
+
+    def test_missing_bgp_process(self, pair):
+        source, translated = pair
+        translated.bgp = None
+        findings = find_structural_mismatches(source, translated)
+        assert any(f.component == "BGP process" for f in findings)
+
+    def test_dangling_policy_reference(self, pair):
+        source, translated = pair
+        del translated.route_maps["to_provider"]
+        findings = find_structural_mismatches(source, translated)
+        assert any("referenced" in f.component for f in findings)

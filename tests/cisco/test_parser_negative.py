@@ -1,0 +1,135 @@
+"""Negative-path coverage for the Cisco parser: every malformed input
+must degrade to a warning, never an exception."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cisco import parse_cisco
+
+
+def _warns(text):
+    result = parse_cisco(text)
+    assert result.warnings, f"expected warnings for {text!r}"
+    return result
+
+
+class TestMalformedBlocks:
+    def test_interface_without_name(self):
+        _warns("interface\n")
+
+    def test_router_bgp_without_asn(self):
+        _warns("router bgp\n")
+
+    def test_router_bgp_bad_asn(self):
+        _warns("router bgp banana\n")
+
+    def test_route_map_invalid_action(self):
+        _warns("route-map M maybe 10\n")
+
+    def test_route_map_header_too_short(self):
+        _warns("route-map M\n")
+
+    def test_route_map_bad_seq_defaults(self):
+        result = parse_cisco("route-map M permit x\n")
+        # Bad sequence warns but the clause still lands at the default.
+        assert result.warnings
+        assert result.config.route_maps["M"].get_clause(10) is not None
+
+
+class TestMalformedNeighbors:
+    def test_incomplete_neighbor(self):
+        _warns("router bgp 1\n neighbor 1.0.0.2\n")
+
+    def test_bad_neighbor_address(self):
+        _warns("router bgp 1\n neighbor one.two remote-as 2\n")
+
+    def test_bad_remote_as(self):
+        _warns("router bgp 1\n neighbor 1.0.0.2 remote-as two\n")
+
+    def test_unknown_neighbor_statement(self):
+        _warns(
+            "router bgp 1\n neighbor 1.0.0.2 remote-as 2\n"
+            " neighbor 1.0.0.2 frobnicate\n"
+        )
+
+    def test_bad_network(self):
+        _warns("router bgp 1\n network 999.0.0.0 mask 255.0.0.0\n")
+
+
+class TestMalformedLists:
+    def test_prefix_list_incomplete(self):
+        _warns("ip prefix-list\n")
+
+    def test_prefix_list_bad_prefix(self):
+        _warns("ip prefix-list p permit not-a-prefix\n")
+
+    def test_prefix_list_bad_seq(self):
+        _warns("ip prefix-list p seq x permit 1.0.0.0/8\n")
+
+    def test_prefix_list_unknown_modifier(self):
+        _warns("ip prefix-list p permit 1.0.0.0/8 around 12\n")
+
+    def test_community_list_incomplete(self):
+        _warns("ip community-list 1\n")
+
+    def test_community_list_bad_action(self):
+        _warns("ip community-list 1 allow 100:1\n")
+
+    def test_as_path_list_incomplete(self):
+        _warns("ip as-path access-list 1 permit\n")
+
+    def test_as_path_list_bad_action(self):
+        _warns("ip as-path access-list 1 allow 100 extra\n")
+
+    def test_acl_incomplete(self):
+        _warns("access-list 10\n")
+
+    def test_acl_bad_action(self):
+        _warns("access-list 10 allow 1.0.0.0\n")
+
+    def test_acl_bad_address(self):
+        _warns("access-list 10 permit 999.0.0.0 0.0.0.255\n")
+
+    def test_named_acl_without_name(self):
+        _warns("ip access-list standard\n")
+
+
+class TestOspfNegative:
+    def test_bad_ospf_network(self):
+        _warns("router ospf 1\n network bad 0.0.0.255 area 0\n")
+
+    def test_bad_area(self):
+        _warns("router ospf 1\n network 1.0.0.0 0.0.0.255 area x\n")
+
+    def test_unknown_ospf_statement(self):
+        _warns("router ospf 1\n auto-cost banana\n")
+
+
+class TestFuzzNeverRaises:
+    @given(st.text(max_size=400))
+    def test_arbitrary_text(self, text):
+        parse_cisco(text)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "interface eth0",
+                    " ip address 1.0.0.1 255.255.255.0",
+                    "router bgp 1",
+                    " neighbor 1.0.0.2 remote-as 2",
+                    "route-map M permit 10",
+                    " match community 1",
+                    " set metric 5",
+                    "exit",
+                    "neighbor 9.9.9.9 route-map X out",
+                    "ip prefix-list p permit 1.0.0.0/8 ge 9",
+                    "!",
+                ]
+            ),
+            max_size=20,
+        )
+    )
+    def test_shuffled_fragments(self, lines):
+        """Any interleaving of config fragments parses without raising."""
+        parse_cisco("\n".join(lines) + "\n")

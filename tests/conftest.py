@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sampleconfigs import load_translation_source
+from repro.juniper import translate_cisco_to_juniper
+from repro.topology import generate_star_network
+from repro.topology.reference import build_reference_configs
+
+
+@pytest.fixture(scope="session")
+def source_config():
+    """The bundled Cisco config of the translation use case."""
+    return load_translation_source()
+
+
+@pytest.fixture()
+def reference_juniper(source_config):
+    """The correct Juniper translation (fresh copy per test)."""
+    reference, _ = translate_cisco_to_juniper(load_translation_source())
+    return reference
+
+
+@pytest.fixture(scope="session")
+def star7():
+    """Figure 4's 7-router star."""
+    return generate_star_network(7)
+
+
+@pytest.fixture()
+def star7_configs(star7):
+    """Reference no-transit configs for the 7-router star."""
+    return build_reference_configs(star7.topology)

@@ -1,0 +1,83 @@
+"""Per-fault translation runs: every Table 2 row in isolation.
+
+For each fault, run the loop with exactly that fault injected (ideal
+fix behaviour) and check it is detected at the right verifier stage and
+resolved with the expected effort.
+"""
+
+import pytest
+
+from repro.core.leverage import PromptKind
+from repro.experiments.translation import run_translation_experiment
+from repro.llm import BehaviorProfile
+
+
+def _single_fault_run(fault_key):
+    return run_translation_experiment(
+        seed=0,
+        profile=BehaviorProfile.always_fix(),
+        initial_faults=(fault_key,),
+    )
+
+
+FIXABLE_CASES = [
+    ("missing_local_as", "syntax"),
+    ("stray_statement", "syntax"),
+    ("missing_export_policy", "structural"),
+    ("extra_export_policy", "structural"),
+    ("ospf_cost_difference", "attribute"),
+    ("ospf_passive_difference", "attribute"),
+    ("wrong_med", "policy"),
+]
+
+
+class TestFixableFaultsInIsolation:
+    @pytest.mark.parametrize("fault_key,stage", FIXABLE_CASES)
+    def test_detected_at_right_stage_and_fixed_in_one_prompt(
+        self, fault_key, stage
+    ):
+        experiment = _single_fault_run(fault_key)
+        assert experiment.result.verified, fault_key
+        automated = [
+            record
+            for record in experiment.result.prompt_log.records
+            if record.kind is PromptKind.AUTOMATED
+        ]
+        assert len(automated) == 1, fault_key
+        assert automated[0].stage == stage, fault_key
+        assert experiment.result.prompt_log.human == 0, fault_key
+        assert experiment.model.resolution_log == [(fault_key, "generated")]
+
+
+class TestUnfixableFaultsInIsolation:
+    def test_redistribution_needs_exactly_one_human_prompt(self):
+        experiment = _single_fault_run("redistribution_unguarded")
+        assert experiment.result.verified
+        assert experiment.result.prompt_log.human == 1
+        assert experiment.model.resolution_log == [
+            ("redistribution_unguarded", "human")
+        ]
+
+    def test_ge_range_story_plays_out(self):
+        """Policy diff -> stubborn -> human -> invalid syntax -> auto fix."""
+        experiment = _single_fault_run("dropped_ge_range")
+        assert experiment.result.verified
+        log = experiment.result.prompt_log
+        assert log.human == 1
+        stages = [
+            record.stage
+            for record in log.records
+            if record.kind is not PromptKind.INITIAL
+        ]
+        # Policy attempts first, then (after the human fix) a syntax fix.
+        assert stages[0] == "policy"
+        assert stages[-1] == "syntax"
+        assert experiment.model.resolution_log == [
+            ("dropped_ge_range", "human"),
+            ("invalid_prefix_list_syntax", "generated"),
+        ]
+
+    def test_unfixable_consumes_attempts_before_punt(self):
+        experiment = _single_fault_run("redistribution_unguarded")
+        # Default translation limits: 3 automated attempts, then punt.
+        assert experiment.result.prompt_log.automated == 3

@@ -1,0 +1,64 @@
+"""Tests for the table renderers and sample-prompt harvesting."""
+
+from repro.experiments.prompts import (
+    all_stage_prompts,
+    sample_synthesis_prompts,
+    sample_translation_prompts,
+)
+from repro.experiments.tables import (
+    render_figure4,
+    render_leverage_no_transit,
+    render_leverage_translation,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestSamplePrompts:
+    def test_translation_covers_four_classes(self):
+        stages = [stage for stage, _ in sample_translation_prompts(seed=0)]
+        assert stages == ["syntax", "structural", "attribute", "policy"]
+
+    def test_synthesis_covers_three_classes(self):
+        stages = [stage for stage, _ in sample_synthesis_prompts(seed=0)]
+        assert stages == ["syntax", "topology", "semantic"]
+
+    def test_prompts_carry_spliced_fields(self):
+        prompts = dict(sample_translation_prompts(seed=0))
+        assert "2.3.4.5" in prompts["structural"] or "1.2.3.9" in prompts["structural"]
+        assert "Loopback0" in prompts["attribute"]
+
+    def test_all_stage_prompts(self):
+        from repro.experiments import run_translation_experiment
+
+        experiment = run_translation_experiment(seed=0)
+        syntax = all_stage_prompts(
+            experiment.result.prompt_log.records, "syntax"
+        )
+        assert all("syntax error" in prompt for prompt in syntax)
+
+
+class TestRenderers:
+    def test_table1_sections(self):
+        text = render_table1(seed=0)
+        assert text.startswith("Table 1")
+        assert "[syntax]" in text
+
+    def test_table2_column_header(self):
+        text = render_table2(seed=0)
+        assert "Error" in text and "Fixed" in text
+
+    def test_table3_paper_phrasing(self):
+        text = render_table3(seed=0)
+        assert "However, they should be denied." in text
+
+    def test_leverage_lines_mention_paper_targets(self):
+        assert "10X" in render_leverage_translation(seed=0)
+        assert "6X" in render_leverage_no_transit(seed=0)
+
+    def test_figure4_structure(self):
+        text = render_figure4(router_count=5)
+        assert "routers: 5" in text
+        assert "links: 4" in text
+        assert "external peers: 5" in text

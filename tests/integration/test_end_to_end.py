@@ -1,0 +1,140 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DEFAULT_IIP_IDS,
+    LoopLimits,
+    ScriptedHuman,
+    SynthesisOrchestrator,
+    TranslationOrchestrator,
+)
+from repro.experiments import (
+    run_no_transit_experiment,
+    run_translation_experiment,
+)
+from repro.juniper import parse_juniper
+from repro.campion import compare_configs
+from repro.llm import (
+    BehaviorProfile,
+    make_synthesis_models,
+    make_translation_model,
+    synthesis_fault_catalog,
+    translation_fault_catalog,
+)
+from repro.sampleconfigs import load_translation_source
+
+
+class TestTranslationEndToEnd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_final_config_is_verified_equivalent(self, seed):
+        """Whatever path the loop takes, the end state must be a Juniper
+        config that parses clean and is Campion-equivalent."""
+        experiment = run_translation_experiment(seed=seed)
+        assert experiment.result.verified
+        parsed = parse_juniper(experiment.result.final_text)
+        assert not parsed.warnings
+        report = compare_configs(
+            load_translation_source(), parsed.config, stop_at_first_class=False
+        )
+        assert report.clean
+
+    def test_figure3_back_edges_occur(self):
+        """Some seed in a small sweep must show the semantic-fix-breaks-
+        syntax back-edge the paper describes."""
+        edges = [
+            run_translation_experiment(seed=seed).result.transcript.back_edges()
+            for seed in range(5)
+        ]
+        assert any(edge > 0 for edge in edges)
+
+    def test_idealized_model_needs_no_human_for_fixable_faults(self):
+        model = make_translation_model(
+            seed=0,
+            profile=BehaviorProfile.always_fix(),
+            initial_faults=(
+                "missing_local_as",
+                "missing_export_policy",
+                "ospf_cost_difference",
+                "wrong_med",
+            ),
+        )
+        orchestrator = TranslationOrchestrator(
+            load_translation_source(),
+            model,
+            human=ScriptedHuman(translation_fault_catalog()),
+        )
+        result = orchestrator.run()
+        assert result.verified
+        assert result.prompt_log.human == 0
+        assert result.prompt_log.automated == 4
+
+
+class TestSynthesisEndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_star7_verified_across_seeds(self, seed):
+        experiment = run_no_transit_experiment(seed=seed)
+        assert experiment.result.verified
+        assert experiment.result.global_check.holds
+
+    def test_budget_exhaustion_reported_not_raised(self, star7):
+        models = make_synthesis_models(
+            star7.topology,
+            iip_ids=DEFAULT_IIP_IDS,
+            seed=0,
+            profile=BehaviorProfile.never_fix(),
+        )
+        orchestrator = SynthesisOrchestrator(
+            star7.topology,
+            models,
+            human=None,
+            limits=LoopLimits(attempts_per_finding=1, max_correction_prompts=5),
+            iip_ids=DEFAULT_IIP_IDS,
+        )
+        result = orchestrator.run()
+        assert not result.verified
+
+    def test_composed_snapshot_satisfies_lightyear_composition(self, star7):
+        from repro.cisco import parse_cisco
+        from repro.lightyear import check_composition, no_transit_invariants
+
+        experiment = run_no_transit_experiment(seed=0)
+        configs = {
+            name: parse_cisco(text).config
+            for name, text in experiment.result.router_texts.items()
+        }
+        invariants = no_transit_invariants(star7.topology)
+        composition = check_composition(invariants, configs, star7.topology)
+        assert composition.holds
+
+
+class TestFailureInjection:
+    def test_loop_survives_model_returning_garbage(self):
+        class GarbageModel:
+            def send(self, prompt):
+                return "%%% not a config %%%"
+
+        orchestrator = TranslationOrchestrator(
+            load_translation_source(),
+            GarbageModel(),
+            human=None,
+            limits=LoopLimits(max_correction_prompts=3),
+        )
+        result = orchestrator.run()
+        assert not result.verified
+
+    def test_loop_survives_empty_response(self):
+        class EmptyModel:
+            def send(self, prompt):
+                return ""
+
+        orchestrator = TranslationOrchestrator(
+            load_translation_source(),
+            EmptyModel(),
+            human=None,
+            limits=LoopLimits(max_correction_prompts=3),
+        )
+        result = orchestrator.run()
+        assert not result.verified

@@ -1,0 +1,279 @@
+"""Tests for the Junos parser."""
+
+from repro.juniper import parse_juniper
+from repro.netmodel import (
+    Action,
+    Community,
+    MatchCommunityList,
+    MatchPrefixList,
+    MatchPrefixRanges,
+    MatchProtocol,
+    Protocol,
+    SetLocalPref,
+    SetMed,
+)
+
+_AS_BLOCK = "routing-options { autonomous-system 100; }\n"
+
+
+def _parse(text):
+    return parse_juniper(text)
+
+
+class TestSystemAndInterfaces:
+    def test_hostname(self):
+        result = _parse("system { host-name r1; }")
+        assert result.config.hostname == "r1"
+
+    def test_interface_address(self):
+        result = _parse(
+            "interfaces { ge-0/0/0 { unit 0 { family inet { "
+            "address 2.3.4.1/24; } } } }"
+        )
+        iface = result.config.get_interface("ge-0/0/0")
+        assert str(iface.address) == "2.3.4.1"
+        assert str(iface.prefix) == "2.3.4.0/24"
+
+    def test_interface_description(self):
+        result = _parse(
+            "interfaces { ge-0/0/0 { description to provider; unit 0 { } } }"
+        )
+        assert result.config.get_interface("ge-0/0/0").description == "to provider"
+
+    def test_bad_address_warns(self):
+        result = _parse(
+            "interfaces { ge-0/0/0 { unit 0 { family inet { "
+            "address 999.1.1.1/24; } } } }"
+        )
+        assert result.warnings
+
+
+class TestRoutingOptionsAndBgp:
+    def test_autonomous_system(self):
+        result = _parse(
+            _AS_BLOCK
+            + "protocols { bgp { group p { neighbor 2.3.4.5 { peer-as 200; } } } }"
+        )
+        assert result.config.bgp.asn == 100
+
+    def test_router_id(self):
+        result = _parse("routing-options { router-id 1.1.1.1; autonomous-system 5; }")
+        assert str(result.config.bgp.router_id) == "1.1.1.1"
+
+    def test_neighbor_policies(self):
+        result = _parse(
+            _AS_BLOCK
+            + "protocols { bgp { group p { neighbor 2.3.4.5 { peer-as 200; "
+            "import FROM_P; export TO_P; } } } }"
+        )
+        neighbor = result.config.bgp.get_neighbor("2.3.4.5")
+        assert neighbor.import_policy == "FROM_P"
+        assert neighbor.export_policy == "TO_P"
+        assert neighbor.remote_as == 200
+
+    def test_group_level_policies_inherited(self):
+        result = _parse(
+            _AS_BLOCK
+            + "protocols { bgp { group p { export TO_P; peer-as 200; "
+            "neighbor 2.3.4.5; } } }"
+        )
+        neighbor = result.config.bgp.get_neighbor("2.3.4.5")
+        assert neighbor.export_policy == "TO_P"
+        assert neighbor.remote_as == 200
+
+    def test_neighbor_overrides_group(self):
+        result = _parse(
+            _AS_BLOCK
+            + "protocols { bgp { group p { export TO_P; neighbor 2.3.4.5 { "
+            "peer-as 200; export SPECIAL; } } } }"
+        )
+        assert result.config.bgp.get_neighbor("2.3.4.5").export_policy == "SPECIAL"
+
+    def test_missing_peer_as_warns(self):
+        result = _parse(
+            _AS_BLOCK
+            + "protocols { bgp { group p { neighbor 2.3.4.5; } } }"
+        )
+        assert any("peer-as" in w.comment for w in result.warnings)
+
+    def test_missing_local_as_warns(self):
+        """Table 2 row 1: no routing-options AS and no local-as."""
+        result = _parse(
+            "protocols { bgp { group p { neighbor 2.3.4.5 { peer-as 200; } } } }"
+        )
+        assert any("local AS" in w.comment for w in result.warnings)
+
+    def test_explicit_local_as_suppresses_warning(self):
+        result = _parse(
+            "protocols { bgp { group p { neighbor 2.3.4.5 { peer-as 200; "
+            "local-as 100; } } } }"
+        )
+        assert not any("local AS" in w.comment for w in result.warnings)
+
+
+class TestOspf:
+    def test_area_interface_metric(self):
+        result = _parse(
+            "interfaces { lo0 { unit 0 { family inet { address 1.1.1.1/32; } } } }"
+            "protocols { ospf { area 0.0.0.0 { interface lo0.0 { metric 1; } } } }"
+        )
+        assert result.config.get_interface("lo0").ospf_cost == 1
+
+    def test_passive(self):
+        result = _parse(
+            "interfaces { lo0 { unit 0 { family inet { address 1.1.1.1/32; } } } }"
+            "protocols { ospf { area 0 { interface lo0.0 { passive; } } } }"
+        )
+        assert result.config.ospf.is_passive("lo0.0")
+
+    def test_area_recorded(self):
+        result = _parse(
+            "protocols { ospf { area 0.0.0.0 { interface ge-0/0/0.0; } } }"
+        )
+        assert result.config.ospf.area_interfaces[0] == ["ge-0/0/0.0"]
+
+
+class TestPolicyOptions:
+    def test_prefix_list(self):
+        result = _parse(
+            "policy-options { prefix-list nets { 1.2.3.0/24; 4.5.6.0/24; } }"
+        )
+        entries = result.config.prefix_lists["nets"].entries
+        assert len(entries) == 2
+        assert all(e.range.is_exact() for e in entries)
+
+    def test_invalid_range_syntax_warns(self):
+        """GPT-4's invented 1.2.3.0/24-32 form (Table 1's example)."""
+        result = _parse(
+            "policy-options { prefix-list our-networks { 1.2.3.0/24-32; } }"
+        )
+        (warning,) = result.warnings
+        assert "There is a syntax error" in warning.comment
+        assert "1.2.3.0/24-32" in warning.text
+
+    def test_named_community(self):
+        result = _parse(
+            "policy-options { community TAG members 100:1; }"
+        )
+        clist = result.config.community_lists["TAG"]
+        assert clist.permits([Community(100, 1)])
+
+    def test_named_community_bracket_members(self):
+        result = _parse(
+            "policy-options { community TAG members [ 100:1 101:1 ]; }"
+        )
+        assert len(result.config.community_lists["TAG"].permitted_communities()) == 2
+
+    def test_policy_statement_terms(self):
+        result = _parse(
+            "policy-options { policy-statement P { "
+            "term a { from { prefix-list nets; } then { metric 50; accept; } } "
+            "term b { then reject; } } }"
+        )
+        rm = result.config.route_maps["P"]
+        assert len(rm.clauses) == 2
+        first, second = rm.clauses
+        assert first.action is Action.PERMIT
+        assert first.matches == [MatchPrefixList("nets")]
+        assert first.sets == [SetMed(50)]
+        assert second.action is Action.DENY
+
+    def test_route_filter_exact(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { from { "
+            "route-filter 1.2.3.0/24 exact; } then accept; } } }"
+        )
+        (condition,) = result.config.route_maps["P"].clauses[0].matches
+        assert isinstance(condition, MatchPrefixRanges)
+        assert condition.ranges[0].is_exact()
+
+    def test_route_filter_orlonger(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { from { "
+            "route-filter 1.2.3.0/24 orlonger; } then accept; } } }"
+        )
+        (condition,) = result.config.route_maps["P"].clauses[0].matches
+        assert condition.ranges[0].high == 32
+
+    def test_route_filter_prefix_length_range(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { from { "
+            "route-filter 1.2.3.0/24 prefix-length-range /25-/30; } "
+            "then accept; } } }"
+        )
+        (condition,) = result.config.route_maps["P"].clauses[0].matches
+        assert (condition.ranges[0].low, condition.ranges[0].high) == (25, 30)
+
+    def test_route_filter_upto(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { from { "
+            "route-filter 10.0.0.0/8 upto /16; } then accept; } } }"
+        )
+        (condition,) = result.config.route_maps["P"].clauses[0].matches
+        assert (condition.ranges[0].low, condition.ranges[0].high) == (8, 16)
+
+    def test_bad_route_filter_modifier_warns(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { from { "
+            "route-filter 1.2.3.0/24 sideways; } then accept; } } }"
+        )
+        assert any("syntax error" in w.comment for w in result.warnings)
+
+    def test_from_protocol(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { from { "
+            "protocol bgp; } then accept; } } }"
+        )
+        (condition,) = result.config.route_maps["P"].clauses[0].matches
+        assert condition == MatchProtocol(Protocol.BGP)
+
+    def test_from_community(self):
+        result = _parse(
+            "policy-options { community TAG members 100:1; "
+            "policy-statement P { term a { from { community TAG; } "
+            "then reject; } } }"
+        )
+        (condition,) = result.config.route_maps["P"].clauses[0].matches
+        assert condition == MatchCommunityList("TAG")
+
+    def test_then_community_add_resolves_members(self):
+        result = _parse(
+            "policy-options { community TAG members 100:1; "
+            "policy-statement P { term a { then { community add TAG; "
+            "accept; } } } }"
+        )
+        (action,) = result.config.route_maps["P"].clauses[0].sets
+        assert action.additive
+        assert action.communities == (Community(100, 1),)
+
+    def test_then_community_undefined_warns(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { then { "
+            "community add GHOST; accept; } } } }"
+        )
+        assert any("not defined" in w.comment for w in result.warnings)
+
+    def test_then_local_preference(self):
+        result = _parse(
+            "policy-options { policy-statement P { term a { then { "
+            "local-preference 250; accept; } } } }"
+        )
+        assert SetLocalPref(250) in result.config.route_maps["P"].clauses[0].sets
+
+    def test_term_names_preserved(self):
+        result = _parse(
+            "policy-options { policy-statement P { term redistribute-ospf { "
+            "then accept; } } }"
+        )
+        assert result.config.route_maps["P"].clauses[0].term_name == (
+            "redistribute-ospf"
+        )
+
+
+class TestRobustness:
+    def test_unknown_top_level_warns(self):
+        assert _parse("chassis { alarm red; }").warnings
+
+    def test_unbalanced_braces_degrade_to_warning(self):
+        result = _parse("system {")
+        assert any("lexical" in w.comment for w in result.warnings)

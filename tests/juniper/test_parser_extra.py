@@ -1,0 +1,115 @@
+"""Additional Junos parser/generator coverage (prepends, empty-space
+terms, deny-bearing prefix lists)."""
+
+from repro.cisco import parse_cisco
+from repro.juniper import (
+    generate_juniper,
+    parse_juniper,
+    translate_cisco_to_juniper,
+)
+from repro.netmodel import Action, Prefix, Route
+from repro.netmodel.routing_policy import SetAsPathPrepend
+
+
+class TestAsPathPrepend:
+    def test_parse_as_path_prepend(self):
+        result = parse_juniper(
+            'policy-options { policy-statement P { term a { then { '
+            'as-path-prepend "100 100"; accept; } } } }'
+        )
+        assert not result.warnings
+        (action,) = result.config.route_maps["P"].clauses[0].sets
+        assert action == SetAsPathPrepend(100, 2)
+
+    def test_parse_single_prepend(self):
+        result = parse_juniper(
+            "policy-options { policy-statement P { term a { then { "
+            "as-path-prepend 7; accept; } } } }"
+        )
+        (action,) = result.config.route_maps["P"].clauses[0].sets
+        assert action == SetAsPathPrepend(7, 1)
+
+    def test_invalid_prepend_warns(self):
+        result = parse_juniper(
+            'policy-options { policy-statement P { term a { then { '
+            'as-path-prepend "abc"; accept; } } } }'
+        )
+        assert any("as-path-prepend" in w.text for w in result.warnings)
+
+    def test_prepend_roundtrips(self):
+        text = (
+            "hostname r1\n"
+            "route-map OUT permit 10\n"
+            " set as-path prepend 1 1\n"
+            "router bgp 100\n"
+            " neighbor 9.0.0.2 remote-as 9\n"
+            " neighbor 9.0.0.2 route-map OUT out\n"
+        )
+        source = parse_cisco(text).config
+        juniper, _ = translate_cisco_to_juniper(source)
+        rendered = generate_juniper(juniper)
+        assert 'as-path-prepend "1 1"' in rendered
+        reparsed = parse_juniper(rendered)
+        assert not reparsed.warnings
+        (action,) = reparsed.config.route_maps["OUT"].clauses[0].sets
+        assert action == SetAsPathPrepend(1, 2)
+
+
+class TestDenyBearingPrefixLists:
+    def _cisco(self, prefix_list_lines):
+        return (
+            "hostname r1\n"
+            + prefix_list_lines
+            + "route-map OUT permit 10\n"
+            " match ip address prefix-list PL\n"
+            "router bgp 100\n"
+            " neighbor 9.0.0.2 remote-as 9\n"
+            " neighbor 9.0.0.2 route-map OUT out\n"
+        )
+
+    def test_deny_entry_lowers_to_permitted_space(self):
+        """A list with deny shadowing must translate to route-filters
+        over the *permitted* space only."""
+        text = self._cisco(
+            "ip prefix-list PL seq 5 deny 1.2.3.0/24\n"
+            "ip prefix-list PL seq 10 permit 1.2.3.0/24 le 32\n"
+        )
+        source = parse_cisco(text).config
+        juniper, _ = translate_cisco_to_juniper(source)
+        rendered = generate_juniper(juniper)
+        reparsed = parse_juniper(rendered)
+        assert not reparsed.warnings
+        rebuilt = reparsed.config
+        out = rebuilt.route_maps["OUT"]
+        denied = Route(prefix=Prefix.parse("1.2.3.0/24"))
+        permitted = Route(prefix=Prefix.parse("1.2.3.0/25"))
+        assert not out.evaluate(denied, rebuilt).permitted
+        assert out.evaluate(permitted, rebuilt).permitted
+
+    def test_deny_all_list_drops_term(self):
+        """A match on an all-deny list can never fire: the rendered
+        policy must omit the term, not turn it into match-anything."""
+        text = self._cisco("ip prefix-list PL seq 5 deny 0.0.0.0/0 le 32\n")
+        source = parse_cisco(text).config
+        juniper, _ = translate_cisco_to_juniper(source)
+        rendered = generate_juniper(juniper)
+        reparsed = parse_juniper(rendered)
+        rebuilt = reparsed.config
+        out = rebuilt.route_maps["OUT"]
+        anything = Route(prefix=Prefix.parse("9.9.9.0/24"))
+        assert not out.evaluate(anything, rebuilt).permitted
+
+    def test_semantics_preserved_against_source(self):
+        """Spot-check: source and translation agree on boundary routes."""
+        text = self._cisco(
+            "ip prefix-list PL seq 5 deny 1.2.3.0/24 ge 30\n"
+            "ip prefix-list PL seq 10 permit 1.2.3.0/24 ge 24\n"
+        )
+        source = parse_cisco(text).config
+        juniper, _ = translate_cisco_to_juniper(source)
+        rebuilt = parse_juniper(generate_juniper(juniper)).config
+        for candidate in ("1.2.3.0/24", "1.2.3.0/29", "1.2.3.0/30", "1.2.3.0/32"):
+            route = Route(prefix=Prefix.parse(candidate))
+            expected = source.route_maps["OUT"].evaluate(route, source).action
+            actual = rebuilt.route_maps["OUT"].evaluate(route, rebuilt).action
+            assert expected is actual, candidate

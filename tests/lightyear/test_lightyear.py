@@ -1,0 +1,165 @@
+"""Tests for local invariants, their verification, and composition."""
+
+import copy
+
+import pytest
+
+from repro.lightyear import (
+    EgressFilterInvariant,
+    IngressTagInvariant,
+    check_composition,
+    check_global_no_transit,
+    no_transit_invariants,
+    verify_invariant,
+    verify_invariants,
+)
+from repro.netmodel import Action, Community
+from repro.netmodel.routing_policy import SetCommunity
+from repro.topology.generator import ingress_community
+
+
+@pytest.fixture()
+def invariants(star7):
+    return no_transit_invariants(star7.topology)
+
+
+class TestInvariantDerivation:
+    def test_count_two_per_spoke(self, invariants):
+        assert len(invariants) == 12  # 6 spokes x (tag + filter)
+
+    def test_tags_match_paper_numbering(self, invariants):
+        tags = {
+            str(i.neighbor_ip): i.community
+            for i in invariants
+            if isinstance(i, IngressTagInvariant)
+        }
+        assert tags["1.0.0.2"] == Community(100, 1)  # R2
+        assert tags["2.0.0.2"] == Community(101, 1)  # R3
+
+    def test_filters_forbid_other_tags(self, invariants):
+        filters = {
+            str(i.neighbor_ip): i.forbidden
+            for i in invariants
+            if isinstance(i, EgressFilterInvariant)
+        }
+        r2_filter = filters["1.0.0.2"]
+        assert ingress_community(2) not in r2_filter
+        assert ingress_community(3) in r2_filter
+        assert len(r2_filter) == 5
+
+    def test_describe(self, invariants):
+        assert any("must carry" in i.describe() for i in invariants
+                   if isinstance(i, IngressTagInvariant))
+
+
+class TestVerification:
+    def test_reference_configs_satisfy_all(self, star7_configs, invariants):
+        assert verify_invariants(star7_configs, invariants) == []
+
+    def test_missing_tag_detected(self, star7_configs, invariants):
+        configs = copy.deepcopy(star7_configs)
+        for clause in configs["R1"].route_maps["ADD_COMM_R2"].clauses:
+            clause.sets = []
+        violations = verify_invariants(configs, invariants)
+        assert any("without adding the community" in v.message
+                   for v in violations)
+
+    def test_leaky_egress_detected_with_paper_phrasing(
+        self, star7_configs, invariants
+    ):
+        """Table 3's semantic example: 'permits routes that have the
+        community ... However, they should be denied.'"""
+        configs = copy.deepcopy(star7_configs)
+        egress = configs["R1"].route_maps["FILTER_COMM_OUT_R2"]
+        egress.clauses = [c for c in egress.clauses if c.action is Action.PERMIT]
+        violations = verify_invariants(configs, invariants)
+        assert violations
+        message = violations[0].message
+        assert "permits routes that have the community" in message
+        assert "However, they should be denied." in message
+
+    def test_missing_attachment_detected(self, star7_configs, invariants):
+        configs = copy.deepcopy(star7_configs)
+        configs["R1"].bgp.neighbors["1.0.0.2"].import_policy = None
+        violations = verify_invariants(configs, invariants)
+        assert any("No import route-map" in v.message for v in violations)
+
+    def test_missing_router_detected(self, star7_configs, invariants):
+        configs = {k: v for k, v in star7_configs.items() if k != "R1"}
+        violations = verify_invariants(configs, invariants)
+        assert violations
+
+    def test_unknown_invariant_type_raises(self, star7_configs):
+        with pytest.raises(TypeError):
+            verify_invariant(star7_configs["R1"], object())
+
+    def test_and_semantics_filter_violates(self, star7_configs, invariants):
+        """The §4.2 AND/OR bug is a genuine invariant violation."""
+        from repro.llm.synthesis_faults import _merge_deny_clauses
+
+        configs = copy.deepcopy(star7_configs)
+        _merge_deny_clauses("FILTER_COMM_OUT_R2")(configs["R1"])
+        violations = verify_invariants(configs, invariants)
+        assert any(v.policy_name == "FILTER_COMM_OUT_R2" for v in violations)
+
+
+class TestComposition:
+    def test_reference_composition_holds(self, star7, star7_configs, invariants):
+        result = check_composition(invariants, star7_configs, star7.topology)
+        assert result.holds
+        assert len(result.covered_pairs) == 30  # 6x5 ordered pairs
+
+    def test_uncovered_pair_detected(self, star7, star7_configs, invariants):
+        partial = [
+            i
+            for i in invariants
+            if not (
+                isinstance(i, EgressFilterInvariant)
+                and str(i.neighbor_ip) == "1.0.0.2"
+            )
+        ]
+        result = check_composition(partial, star7_configs, star7.topology)
+        assert not result.holds
+        assert result.uncovered_pairs
+
+    def test_tag_stripping_detected(self, star7, star7_configs, invariants):
+        configs = copy.deepcopy(star7_configs)
+        rm = configs["R1"].route_maps["ADD_COMM_R2"]
+        rm.clauses[0].sets = [
+            SetCommunity(s.communities, additive=False)
+            for s in rm.clauses[0].sets
+        ]
+        result = check_composition(invariants, configs, star7.topology)
+        assert not result.holds
+        assert "R1:ADD_COMM_R2" in result.tag_stripping_policies
+
+
+class TestGlobalCheck:
+    def test_reference_network_holds(self, star7, star7_configs):
+        result = check_global_no_transit(star7_configs, star7.topology)
+        assert result.holds
+        assert "confirms" in result.describe()
+
+    def test_unfiltered_hub_violates(self, star7, star7_configs):
+        configs = copy.deepcopy(star7_configs)
+        for neighbor in configs["R1"].bgp.neighbors.values():
+            neighbor.export_policy = None
+        result = check_global_no_transit(configs, star7.topology)
+        assert not result.holds
+        assert result.transit_violations
+
+    def test_overblocking_breaks_customer_reachability(
+        self, star7, star7_configs
+    ):
+        configs = copy.deepcopy(star7_configs)
+        egress = configs["R1"].route_maps["FILTER_COMM_OUT_R2"]
+        egress.clauses = [c for c in egress.clauses if c.action is Action.DENY]
+        result = check_global_no_transit(configs, star7.topology)
+        assert not result.holds
+        assert result.customer_unreachable
+
+    def test_missing_spoke_announcement_detected(self, star7, star7_configs):
+        configs = copy.deepcopy(star7_configs)
+        configs["R2"].bgp.networks = []
+        result = check_global_no_transit(configs, star7.topology)
+        assert result.isp_prefixes_missing_at_hub

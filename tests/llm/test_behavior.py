@@ -1,0 +1,57 @@
+"""Tests for the correction behaviour model."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.llm import BehaviorProfile, CorrectionOutcome, sample_outcome
+
+
+class TestBehaviorProfile:
+    def test_default_sums_to_one(self):
+        BehaviorProfile()  # __post_init__ validates
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            BehaviorProfile(fix=0.5, no_change=0.1,
+                            fix_with_new_error=0.1, fix_with_regression=0.1)
+
+    def test_always_fix(self):
+        rng = random.Random(0)
+        profile = BehaviorProfile.always_fix()
+        outcomes = {sample_outcome(rng, profile) for _ in range(50)}
+        assert outcomes == {CorrectionOutcome.FIX}
+
+    def test_never_fix(self):
+        rng = random.Random(0)
+        profile = BehaviorProfile.never_fix()
+        outcomes = {sample_outcome(rng, profile) for _ in range(50)}
+        assert outcomes == {CorrectionOutcome.NO_CHANGE}
+
+    def test_sampling_is_seed_deterministic(self):
+        profile = BehaviorProfile()
+        first = [
+            sample_outcome(random.Random(7), profile) for _ in range(1)
+        ]
+        second = [
+            sample_outcome(random.Random(7), profile) for _ in range(1)
+        ]
+        assert first == second
+
+    def test_distribution_roughly_matches(self):
+        rng = random.Random(123)
+        profile = BehaviorProfile()
+        counts = Counter(sample_outcome(rng, profile) for _ in range(5000))
+        assert counts[CorrectionOutcome.FIX] / 5000 == pytest.approx(
+            profile.fix, abs=0.05
+        )
+        assert counts[CorrectionOutcome.NO_CHANGE] / 5000 == pytest.approx(
+            profile.no_change, abs=0.03
+        )
+
+    def test_all_outcomes_reachable(self):
+        rng = random.Random(99)
+        profile = BehaviorProfile()
+        outcomes = {sample_outcome(rng, profile) for _ in range(2000)}
+        assert outcomes == set(CorrectionOutcome)

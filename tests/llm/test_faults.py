@@ -1,0 +1,118 @@
+"""Tests for the fault framework and draft state."""
+
+from repro.cisco import generate_cisco
+from repro.errors import ErrorCategory
+from repro.llm import DraftState, Fault
+from repro.netmodel import RouterConfig
+
+
+def _noop_fault(key="f1", **kwargs):
+    defaults = dict(
+        key=key,
+        label="test fault",
+        category=ErrorCategory.SYNTAX,
+        fixable_by_generated_prompt=True,
+        prompt_patterns=(r"fix it",),
+    )
+    defaults.update(kwargs)
+    return Fault(**defaults)
+
+
+def _hostname_fault():
+    def transform(config: RouterConfig) -> None:
+        config.hostname = "WRONG"
+
+    return _noop_fault(key="hostname", ir_transform=transform)
+
+
+def _text_fault():
+    return _noop_fault(
+        key="text", text_transform=lambda text: "garbage\n" + text
+    )
+
+
+class TestFaultMatching:
+    def test_matches_generated(self):
+        fault = _noop_fault(prompt_patterns=(r"syntax error", r"cost"))
+        assert fault.matches_generated("There is a SYNTAX ERROR here")
+        assert not fault.matches_generated("all good")
+
+    def test_matches_human(self):
+        fault = _noop_fault(human_prompt_patterns=(r"from bgp",))
+        assert fault.matches_human("please add a 'from bgp' condition")
+        assert not fault.matches_human("anything else")
+
+    def test_no_human_patterns_never_match(self):
+        assert not _noop_fault().matches_human("anything")
+
+
+class TestDraftState:
+    def _draft(self):
+        config = RouterConfig(hostname="r1")
+        return DraftState(config, generate_cisco)
+
+    def test_pristine_render(self):
+        draft = self._draft()
+        assert "hostname r1" in draft.render()
+        assert draft.clean
+
+    def test_ir_fault_applied_on_render(self):
+        draft = self._draft()
+        draft.inject(_hostname_fault())
+        assert "hostname WRONG" in draft.render()
+        assert not draft.clean
+
+    def test_text_fault_applied_after_render(self):
+        draft = self._draft()
+        draft.inject(_text_fault())
+        assert draft.render().startswith("garbage")
+
+    def test_repair_restores_pristine(self):
+        draft = self._draft()
+        draft.inject(_hostname_fault())
+        draft.repair("hostname")
+        assert "hostname r1" in draft.render()
+        assert draft.clean
+
+    def test_pristine_never_mutated(self):
+        draft = self._draft()
+        fault = _hostname_fault()
+        draft.inject(fault)
+        draft.render()
+        draft.repair("hostname")
+        draft.inject(fault)
+        assert "hostname WRONG" in draft.render()
+        draft.repair("hostname")
+        assert "hostname r1" in draft.render()
+
+    def test_fixed_faults_tracked(self):
+        draft = self._draft()
+        fault = _hostname_fault()
+        draft.inject(fault)
+        draft.repair("hostname")
+        assert [f.key for f in draft.fixed_faults()] == ["hostname"]
+
+    def test_reintroduce_moves_back_to_active(self):
+        draft = self._draft()
+        fault = _hostname_fault()
+        draft.inject(fault)
+        draft.repair("hostname")
+        draft.reintroduce(fault)
+        assert draft.is_active("hostname")
+        assert draft.fixed_faults() == []
+
+    def test_repair_unknown_returns_none(self):
+        assert self._draft().repair("ghost") is None
+
+    def test_multiple_faults_compose(self):
+        draft = self._draft()
+        draft.inject(_hostname_fault())
+        draft.inject(_text_fault())
+        text = draft.render()
+        assert text.startswith("garbage")
+        assert "hostname WRONG" in text
+
+    def test_current_config_reflects_ir_faults_only(self):
+        draft = self._draft()
+        draft.inject(_text_fault())
+        assert draft.current_config().hostname == "r1"

@@ -1,0 +1,145 @@
+"""Each translation fault must manifest exactly its documented error."""
+
+import pytest
+
+from repro.campion import compare_configs
+from repro.juniper import generate_juniper, parse_juniper
+from repro.llm import (
+    DEFAULT_INITIAL_FAULTS,
+    make_translation_model,
+    translation_fault_catalog,
+)
+from repro.llm.faults import DraftState
+from repro.llm.translation_model import reference_translation
+from repro.sampleconfigs import load_translation_source
+
+
+@pytest.fixture()
+def catalog():
+    return translation_fault_catalog()
+
+
+def _draft_with(catalog, *keys):
+    draft = DraftState(reference_translation(), generate_juniper)
+    for key in keys:
+        draft.inject(catalog[key])
+    return draft
+
+
+def _verify(draft):
+    """Parse + campion the draft; return (warnings, report)."""
+    parsed = parse_juniper(draft.render())
+    report = compare_configs(
+        load_translation_source(), parsed.config, stop_at_first_class=False
+    )
+    return parsed.warnings, report
+
+
+class TestFaultManifestations:
+    def test_clean_draft_verifies(self, catalog):
+        warnings, report = _verify(_draft_with(catalog))
+        assert not warnings
+        assert report.clean
+
+    def test_missing_local_as_is_parse_warning(self, catalog):
+        warnings, _ = _verify(_draft_with(catalog, "missing_local_as"))
+        assert any("local AS" in w.comment for w in warnings)
+
+    def test_stray_statement_is_parse_warning(self, catalog):
+        warnings, _ = _verify(_draft_with(catalog, "stray_statement"))
+        assert any("maximum-paths" in w.text for w in warnings)
+
+    def test_missing_export_policy_is_structural(self, catalog):
+        warnings, report = _verify(_draft_with(catalog, "missing_export_policy"))
+        assert not warnings
+        assert any(
+            "export route map" in f.describe() and "2.3.4.5" in f.describe()
+            for f in report.structural
+        )
+
+    def test_extra_export_policy_is_structural(self, catalog):
+        _, report = _verify(_draft_with(catalog, "extra_export_policy"))
+        assert any("1.2.3.9" in f.describe() for f in report.structural)
+
+    def test_ospf_cost_is_attribute(self, catalog):
+        _, report = _verify(_draft_with(catalog, "ospf_cost_difference"))
+        assert any("cost set to" in f.describe() for f in report.attributes)
+
+    def test_ospf_passive_is_attribute(self, catalog):
+        _, report = _verify(_draft_with(catalog, "ospf_passive_difference"))
+        assert any("passive" in f.describe() for f in report.attributes)
+
+    def test_wrong_med_is_policy_transform(self, catalog):
+        _, report = _verify(_draft_with(catalog, "wrong_med"))
+        assert any("MED" in f.transform_detail for f in report.policies)
+
+    def test_dropped_ge_range_found_at_longer_prefix(self, catalog):
+        _, report = _verify(_draft_with(catalog, "dropped_ge_range"))
+        assert any(
+            f.example_prefix.length > 24 for f in report.policies
+        )
+
+    def test_redistribution_unguarded_is_redistribution_diff(self, catalog):
+        _, report = _verify(_draft_with(catalog, "redistribution_unguarded"))
+        assert any("redistribution" in f.direction for f in report.policies)
+
+    def test_invalid_prefix_list_syntax_is_table1_warning(self, catalog):
+        warnings, _ = _verify(_draft_with(catalog, "invalid_prefix_list_syntax"))
+        assert any(
+            "There is a syntax error" in w.comment and "24-32" in w.text
+            for w in warnings
+        )
+
+    def test_all_faults_are_reversible(self, catalog):
+        draft = _draft_with(catalog, *DEFAULT_INITIAL_FAULTS)
+        for key in list(DEFAULT_INITIAL_FAULTS):
+            draft.repair(key)
+        warnings, report = _verify(draft)
+        assert not warnings
+        assert report.clean
+
+
+class TestCatalogConsistency:
+    def test_initial_faults_exist_in_catalog(self, catalog):
+        for key in DEFAULT_INITIAL_FAULTS:
+            assert key in catalog
+
+    def test_successor_exists(self, catalog):
+        assert catalog["dropped_ge_range"].successor_key in catalog
+
+    def test_unfixable_faults_have_human_prompts(self, catalog):
+        for fault in catalog.values():
+            if not fault.fixable_by_generated_prompt:
+                assert fault.human_prompt
+                assert fault.human_prompt_patterns
+
+    def test_human_prompts_match_own_patterns(self, catalog):
+        for fault in catalog.values():
+            if fault.human_prompt:
+                assert fault.matches_human(fault.human_prompt), fault.key
+
+    def test_table2_labels_present(self, catalog):
+        labels = {fault.label for fault in catalog.values()}
+        expected = {
+            "Missing BGP local-as attribute",
+            "Invalid syntax for prefix lists",
+            "Missing/extra BGP route policy",
+            "Different OSPF link cost",
+            "Different OSPF passive interface setting",
+            "Setting wrong BGP MED value",
+            "Different prefix lengths match in BGP",
+            "Different redistribution into BGP",
+        }
+        assert expected <= labels
+
+
+class TestModelFactory:
+    def test_initial_draft_contains_all_faults(self):
+        model = make_translation_model(seed=0)
+        model.send("Translate the configuration into Juniper.")
+        assert set(model.active_fault_keys()) == set(DEFAULT_INITIAL_FAULTS)
+
+    def test_narrowed_fault_set(self):
+        model = make_translation_model(seed=0, initial_faults=("wrong_med",))
+        model.send("translate")
+        assert model.active_fault_keys() == ["wrong_med"]

@@ -1,0 +1,69 @@
+"""Tests for the immutable Route value."""
+
+from repro.netmodel import (
+    Community,
+    Ipv4Address,
+    Prefix,
+    Protocol,
+    Route,
+)
+
+
+def _route(**kwargs):
+    return Route(prefix=Prefix.parse("1.2.3.0/24"), **kwargs)
+
+
+class TestRouteTransforms:
+    def test_default_local_pref(self):
+        assert _route().local_pref == 100
+
+    def test_default_protocol_is_bgp(self):
+        assert _route().protocol is Protocol.BGP
+
+    def test_with_community_added_is_additive(self):
+        route = _route(communities=frozenset({Community(1, 1)}))
+        updated = route.with_community_added(Community(2, 2))
+        assert updated.communities == {Community(1, 1), Community(2, 2)}
+
+    def test_with_communities_replaced_drops_existing(self):
+        route = _route(communities=frozenset({Community(1, 1)}))
+        updated = route.with_communities_replaced(Community(2, 2))
+        assert updated.communities == {Community(2, 2)}
+
+    def test_original_unchanged_by_transforms(self):
+        route = _route()
+        route.with_med(99)
+        assert route.med == 0
+
+    def test_with_med(self):
+        assert _route().with_med(50).med == 50
+
+    def test_with_local_pref(self):
+        assert _route().with_local_pref(200).local_pref == 200
+
+    def test_with_next_hop(self):
+        hop = Ipv4Address.parse("9.9.9.9")
+        assert _route().with_next_hop(hop).next_hop == hop
+
+    def test_with_as_prepended(self):
+        route = _route().with_as_prepended(100).with_as_prepended(200)
+        assert route.as_path.asns == (200, 100)
+
+    def test_with_as_prepended_count(self):
+        assert _route().with_as_prepended(7, count=2).as_path.asns == (7, 7)
+
+    def test_with_protocol(self):
+        assert _route().with_protocol(Protocol.OSPF).protocol is Protocol.OSPF
+
+    def test_describe_mentions_prefix_and_communities(self):
+        route = _route(communities=frozenset({Community(100, 1)}))
+        text = route.describe()
+        assert "1.2.3.0/24" in text
+        assert "100:1" in text
+
+    def test_describe_empty_communities(self):
+        assert "{}" in _route().describe()
+
+    def test_equality_is_structural(self):
+        assert _route() == _route()
+        assert _route().with_med(1) != _route()
