@@ -1,0 +1,46 @@
+"""Scenario-campaign engine: parallel speedup over serial execution.
+
+Runs the same deterministic scenario grid serially and on a 4-worker
+process pool and reports the wall-clock ratio.  The speedup tracks the
+machine's core count — on a single-core box the two runs tie (pool
+overhead aside); the row-level results are identical either way.
+"""
+
+from conftest import run_and_print
+from repro.experiments.campaign import build_grid, run_campaign
+
+WORKERS = 4
+
+
+def _row_key(row):
+    return (
+        row.family, row.size, row.seed, row.profile, row.iips,
+        row.automated_prompts, row.human_prompts, row.verified,
+    )
+
+
+def _campaign_speedup() -> str:
+    grid = build_grid(
+        ["star", "chain", "ring", "mesh"], [6, 8], seeds=2
+    )
+    serial = run_campaign(grid, workers=1)
+    parallel = run_campaign(grid, workers=WORKERS)
+    assert [_row_key(row) for row in serial.rows] == [
+        _row_key(row) for row in parallel.rows
+    ], "parallel campaign diverged from serial"
+    speedup = serial.duration_s / max(parallel.duration_s, 1e-9)
+    lines = [
+        f"campaign speedup ({len(grid)} scenarios)",
+        f"  serial   ( 1 worker ): {serial.duration_s:6.2f}s",
+        f"  parallel ({WORKERS:2} workers): {parallel.duration_s:6.2f}s",
+        f"  speedup: {speedup:.2f}x",
+    ]
+    for summary in serial.by_family():
+        lines.append("  " + summary.render())
+    return "\n".join(lines)
+
+
+def test_campaign_parallel_speedup(benchmark, capsys):
+    text = run_and_print(benchmark, capsys, _campaign_speedup)
+    assert "speedup:" in text
+    assert "verified (100.0%)" in text

@@ -30,6 +30,8 @@ from .core import (
 )
 from .errors import ErrorCategory, Finding
 from .experiments import (
+    build_grid,
+    run_campaign,
     run_local_vs_global,
     run_no_transit_experiment,
     run_scaling_sweep,
@@ -44,7 +46,7 @@ from .llm import (
     make_synthesis_models,
     make_translation_model,
 )
-from .topology import generate_star_network
+from .topology import generate_network, generate_star_network
 
 __version__ = "1.0.0"
 
@@ -66,9 +68,12 @@ __all__ = [
     "SynthesisOrchestrator",
     "TranslationOrchestrator",
     "__version__",
+    "build_grid",
+    "generate_network",
     "generate_star_network",
     "make_synthesis_models",
     "make_translation_model",
+    "run_campaign",
     "run_local_vs_global",
     "run_no_transit_experiment",
     "run_scaling_sweep",

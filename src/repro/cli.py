@@ -7,9 +7,14 @@ Commands::
     synthesize    run the §4 no-transit loop and print the summary
     incremental   run the §6 incremental-policy extension
     sweep         leverage statistics across seeds
+    campaign      parallel scenario campaign over family × size × seed
 
 All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
-``--routers`` (default 7) and ``--no-iips``.
+``--routers`` (default 7), ``--family`` (default star), and
+``--no-iips``.  ``campaign`` takes comma-separated ``--families`` and
+``--sizes``, a ``--seeds`` count, a ``--workers`` pool size, and writes
+a JSON summary (``--json``, default ``campaign_results.json``) plus an
+optional ``--csv``.
 """
 
 from __future__ import annotations
@@ -41,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--seed", type=int, default=0)
     synthesize.add_argument("--routers", type=int, default=7)
     synthesize.add_argument(
+        "--family",
+        default="star",
+        help="topology family: star, chain, ring, mesh, dumbbell",
+    )
+    synthesize.add_argument(
         "--no-iips", action="store_true", help="disable the IIP database"
     )
 
@@ -56,6 +66,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="leverage across seeds")
     sweep.add_argument("--seeds", type=int, default=5)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="parallel scenario campaign over a grid"
+    )
+    campaign.add_argument(
+        "--families",
+        default="star,chain,ring,mesh",
+        help="comma-separated topology families",
+    )
+    campaign.add_argument(
+        "--sizes", default="4,6,8", help="comma-separated router counts"
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=2, help="seeds per (family, size)"
+    )
+    campaign.add_argument(
+        "--profiles",
+        default="default",
+        help="comma-separated behavior profiles (default, always-fix, sloppy)",
+    )
+    campaign.add_argument(
+        "--iip-ablation",
+        action="store_true",
+        help="run every scenario with and without the IIP database",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    campaign.add_argument(
+        "--json",
+        default="campaign_results.json",
+        help="JSON summary path ('-' to skip writing)",
+    )
+    campaign.add_argument(
+        "--csv", default=None, help="optional CSV results path"
+    )
+    campaign.add_argument(
+        "--quiet", action="store_true", help="print only the aggregates"
+    )
     return parser
 
 
@@ -67,6 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "synthesize": _cmd_synthesize,
         "incremental": _cmd_incremental,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
 
@@ -117,11 +167,16 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     from .core import DEFAULT_IIP_IDS
     from .experiments import run_no_transit_experiment
 
-    experiment = run_no_transit_experiment(
-        router_count=args.routers,
-        seed=args.seed,
-        iip_ids=() if args.no_iips else DEFAULT_IIP_IDS,
-    )
+    try:
+        experiment = run_no_transit_experiment(
+            router_count=args.routers,
+            seed=args.seed,
+            iip_ids=() if args.no_iips else DEFAULT_IIP_IDS,
+            family=args.family,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(experiment.result.prompt_log.summary())
     print(experiment.result.global_check.describe())
     return 0 if experiment.result.verified else 1
@@ -161,6 +216,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{statistics.mean(s.leverage for s in synthesis):.1f}X (paper 6X)"
     )
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments.campaign import build_grid, run_campaign
+
+    families = [item for item in args.families.split(",") if item]
+    profiles = [item for item in args.profiles.split(",") if item]
+    try:
+        sizes = [int(item) for item in args.sizes.split(",") if item]
+        grid = build_grid(
+            families,
+            sizes,
+            seeds=args.seeds,
+            profiles=profiles,
+            iip_ablation=args.iip_ablation,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = run_campaign(grid, workers=args.workers)
+    if args.quiet:
+        print(
+            f"campaign: {len(summary.rows)} scenarios, "
+            f"{len(summary.errors)} errors, {summary.workers} worker(s), "
+            f"{summary.duration_s:.2f}s"
+        )
+        for family_summary in summary.by_family():
+            print("  " + family_summary.render())
+    else:
+        print(summary.render())
+    if args.json and args.json != "-":
+        path = summary.write_json(args.json)
+        print(f"wrote {path}")
+    if args.csv:
+        path = summary.write_csv(args.csv)
+        print(f"wrote {path}")
+    return 1 if summary.errors else 0
 
 
 if __name__ == "__main__":

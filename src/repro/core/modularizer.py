@@ -81,25 +81,57 @@ class Modularizer:
         return " ".join(sentences)
 
     def _local_policy_text(self, router_name: str) -> str:
-        if router_name != "R1":
-            return ""
-        clauses = []
-        for name in self._topology.router_names():
-            if name == "R1":
-                continue
-            index = int(name[1:])
-            tag = ingress_community(index)
-            clauses.append(
-                f"add community {tag} (additively) to every route received "
-                f"from {name}"
+        from ..topology.families import (
+            attachment_index,
+            is_hub_star,
+            isp_attachments,
+        )
+
+        if is_hub_star(self._topology):
+            if router_name != "R1":
+                return ""
+            clauses = []
+            for name in self._topology.router_names():
+                if name == "R1":
+                    continue
+                index = int(name[1:])
+                tag = ingress_community(index)
+                clauses.append(
+                    f"add community {tag} (additively) to every route received "
+                    f"from {name}"
+                )
+            filters = (
+                "at the egress to each ISP router, deny any route that carries "
+                "the community added for a different ISP router, and permit "
+                "everything else"
             )
-        filters = (
-            "at the egress to each ISP router, deny any route that carries "
-            "the community added for a different ISP router, and permit "
-            "everything else"
+            return (
+                "Local policy for R1: " + "; ".join(clauses) + "; and "
+                + filters + "."
+            )
+        attachments = isp_attachments(self._topology)
+        mine = next(
+            (peer for peer in attachments if peer.router == router_name), None
+        )
+        if mine is None:
+            return ""
+        index = attachment_index(mine)
+        tag = ingress_community(index)
+        interface = self._topology.router(router_name).interface(mine.interface)
+        subnet = interface.prefix if interface is not None else "its ISP subnet"
+        others = ", ".join(
+            str(ingress_community(attachment_index(peer)))
+            for peer in attachments
+            if peer is not mine
         )
         return (
-            "Local policy for R1: " + "; ".join(clauses) + "; and " + filters + "."
+            f"Local policy for {router_name}: add community {tag} "
+            f"(additively) to every route received from {mine.peer_name}; "
+            f"when exporting to the internal neighbors, add community {tag} "
+            f"(additively) to routes of your own ISP subnet {subnet}, "
+            f"matched via a prefix-list; at the egress to {mine.peer_name}, "
+            f"deny any route that carries one of the other ISP communities "
+            f"({others}) and permit everything else."
         )
 
     def _describe_topology(self) -> str:
@@ -111,7 +143,8 @@ class Modularizer:
 
     def local_invariants(self, router_name: Optional[str] = None) -> List[object]:
         """The per-router slice of the global spec for the semantic
-        verifier (all no-transit invariants live on R1)."""
+        verifier (on the hub R1 for the star; on each ISP-attached
+        border router for the other families)."""
         invariants = no_transit_invariants(self._topology)
         if router_name is None:
             return invariants

@@ -9,6 +9,15 @@ from .ablation import (
     run_synthesis_ablation,
     run_translation_ablation,
 )
+from .campaign import (
+    CampaignSummary,
+    FamilySummary,
+    Scenario,
+    ScenarioResult,
+    build_grid,
+    run_campaign,
+    run_scenario,
+)
 from .data import BATFISH_EXAMPLE_CISCO, load_translation_source
 from .iip_ablation import IipAblationResult, run_iip_ablation
 from .incremental import IncrementalResult, run_incremental_policy_experiment
@@ -29,20 +38,27 @@ from .translation import (
 __all__ = [
     "AblationResult",
     "BATFISH_EXAMPLE_CISCO",
+    "CampaignSummary",
+    "FamilySummary",
     "IipAblationResult",
     "IncrementalResult",
     "LocalVsGlobalResult",
     "NoTransitExperiment",
     "OscillatingGlobalModel",
     "ScalingPoint",
+    "Scenario",
+    "ScenarioResult",
     "Table2Row",
     "TranslationExperiment",
+    "build_grid",
     "load_translation_source",
+    "run_campaign",
     "run_iip_ablation",
     "run_incremental_policy_experiment",
     "run_local_vs_global",
     "run_no_transit_experiment",
     "run_scaling_sweep",
+    "run_scenario",
     "run_synthesis_ablation",
     "run_translation_ablation",
     "run_translation_experiment",

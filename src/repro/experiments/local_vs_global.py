@@ -33,7 +33,7 @@ from ..netmodel.routing_policy import (
 from ..netmodel.ip import PrefixRange
 from ..netmodel.prefixlist import PrefixList
 from ..batfish.snapshot import Snapshot
-from ..topology import StarNetwork, generate_star_network
+from ..topology import StarNetwork, generate_network, generate_star_network
 from ..topology.generator import CUSTOMER_ASN
 from ..topology.reference import build_reference_configs, egress_map_name
 from .no_transit import run_no_transit_experiment
@@ -55,6 +55,9 @@ class OscillatingGlobalModel:
     STRATEGIES = ("as-path-regex", "deny-at-customer")
 
     def __init__(self, star: StarNetwork) -> None:
+        """``star`` may be any generated network (StarNetwork or
+        GeneratedNetwork) — the strategies rewrite whichever routers
+        carry the egress filters."""
         self._star = star
         self._references = build_reference_configs(star.topology)
         self._strategy_index = 0
@@ -72,10 +75,26 @@ class OscillatingGlobalModel:
             for name, config in self._references.items()
         }
         if self.current_strategy == "as-path-regex":
-            self._apply_as_path_strategy(configs["R1"])
+            for config in configs.values():
+                self._apply_as_path_strategy(config)
         else:
-            self._apply_customer_deny_strategy(configs["R1"])
+            for config in configs.values():
+                self._replace_filters_with_permit_all(config)
+            self._apply_customer_deny_strategy(
+                self._customer_router(configs)
+            )
         return configs
+
+    @staticmethod
+    def _customer_router(configs: Dict[str, RouterConfig]) -> RouterConfig:
+        """The router holding the CUSTOMER session (R1 in every bundled
+        family)."""
+        for config in configs.values():
+            if config.bgp is not None and (
+                config.bgp.get_neighbor("100.0.0.2") is not None
+            ):
+                return config
+        raise ValueError("no router peers with the CUSTOMER at 100.0.0.2")
 
     def feedback(self, counterexample: str) -> None:
         """A global counterexample confuses the model into switching
@@ -84,35 +103,45 @@ class OscillatingGlobalModel:
 
     # -- the two plausible-but-wrong strategies ------------------------------
 
-    def _apply_as_path_strategy(self, hub: RouterConfig) -> None:
+    def _apply_as_path_strategy(self, config: RouterConfig) -> None:
         """Filter at egress by AS-path regex — but the regex only drops
         paths through the CUSTOMER AS, which transit routes never carry,
         so ISP-to-ISP leakage persists."""
+        filters = [
+            name
+            for name in config.route_maps
+            if name.startswith("FILTER_COMM_OUT_")
+        ]
+        if not filters:
+            return
         as_path_list = AsPathAccessList("1")
         as_path_list.add("deny", f"_{CUSTOMER_ASN}_")
         as_path_list.add("permit", ".*")
-        hub.add_as_path_list(as_path_list)
-        for name in list(hub.route_maps):
+        config.add_as_path_list(as_path_list)
+        for name in filters:
+            replacement = RouteMap(name)
+            clause = RouteMapClause(seq=10, action=Action.PERMIT)
+            clause.matches.append(MatchAsPathList("1"))
+            replacement.add_clause(clause)
+            config.route_maps[name] = replacement
+
+    @staticmethod
+    def _replace_filters_with_permit_all(config: RouterConfig) -> None:
+        for name in list(config.route_maps):
             if name.startswith("FILTER_COMM_OUT_"):
-                replacement = RouteMap(name)
-                clause = RouteMapClause(seq=10, action=Action.PERMIT)
-                clause.matches.append(MatchAsPathList("1"))
-                replacement.add_clause(clause)
-                hub.route_maps[name] = replacement
+                config.route_maps[name] = _permit_all_map(name)
 
     def _apply_customer_deny_strategy(self, hub: RouterConfig) -> None:
         """Deny ISP prefixes toward the CUSTOMER — which does nothing
-        about ISP-to-ISP transit through the hub."""
+        about ISP-to-ISP transit elsewhere in the network."""
+        customer_router_name = hub.hostname or "R1"
         prefix_list = PrefixList("isp-prefixes")
         for name in self._star.topology.router_names():
-            if name == "R1":
+            if name == customer_router_name:
                 continue
             for network in self._star.topology.router(name).networks:
                 prefix_list.add("permit", PrefixRange.exact(network))
         hub.add_prefix_list(prefix_list)
-        for name in list(hub.route_maps):
-            if name.startswith("FILTER_COMM_OUT_"):
-                hub.route_maps[name] = _permit_all_map(name)
         customer_filter = RouteMap("DENY_ISP_TO_CUSTOMER")
         deny = RouteMapClause(seq=10, action=Action.DENY)
         deny.matches.append(MatchPrefixList("isp-prefixes"))
@@ -156,9 +185,14 @@ def run_local_vs_global(
     router_count: int = 7,
     max_global_rounds: int = 6,
     seed: int = 0,
+    family: str = "star",
 ) -> LocalVsGlobalResult:
-    """Drive both prompting regimes on the same star network."""
-    star = generate_star_network(router_count)
+    """Drive both prompting regimes on the same network (any family)."""
+    star = (
+        generate_star_network(router_count)
+        if family == "star"
+        else generate_network(family, router_count)
+    )
     model = OscillatingGlobalModel(star)
     converged = False
     rounds = 0
@@ -168,12 +202,18 @@ def run_local_vs_global(
         if check.holds:
             converged = True
             break
-        counterexample = check.transit_violations[0]
+        counterexample = (
+            check.transit_violations
+            + check.customer_unreachable
+            + check.isp_prefixes_missing_at_hub
+        )[0]
         model.feedback(
             f"The no-transit policy is violated: {counterexample}. "
             f"Please fix the configurations."
         )
-    local = run_no_transit_experiment(router_count=router_count, seed=seed)
+    local = run_no_transit_experiment(
+        router_count=router_count, seed=seed, family=family
+    )
     return LocalVsGlobalResult(
         global_converged=converged,
         global_rounds=rounds,

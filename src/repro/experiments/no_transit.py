@@ -23,7 +23,7 @@ from ..llm import (
     make_synthesis_models,
     synthesis_fault_catalog,
 )
-from ..topology import StarNetwork, generate_star_network
+from ..topology import StarNetwork, generate_network, generate_star_network
 
 __all__ = ["NoTransitExperiment", "run_no_transit_experiment"]
 
@@ -36,9 +36,15 @@ class NoTransitExperiment:
 
     result: SynthesisRunResult
     models: Dict[str, SimulatedGPT4]
-    star: StarNetwork
+    star: "StarNetwork"  # a GeneratedNetwork for non-star families
     seed: int
     iip_ids: Sequence[str]
+    family: str = "star"
+
+    @property
+    def network(self):
+        """Family-neutral alias for the generated network."""
+        return self.star
 
     @property
     def leverage(self) -> float:
@@ -78,9 +84,18 @@ def run_no_transit_experiment(
     limits: Optional[LoopLimits] = None,
     pair_programming: bool = False,
     assignment: Optional[Dict[str, List[str]]] = None,
+    family: str = "star",
 ) -> NoTransitExperiment:
-    """Run the full §4 loop once and return everything measured."""
-    star = generate_star_network(router_count)
+    """Run the full §4 loop once and return everything measured.
+
+    ``family`` selects the topology generator (star, chain, ring, mesh,
+    dumbbell); the star keeps the paper's exact setup.
+    """
+    star = (
+        generate_star_network(router_count)
+        if family == "star"
+        else generate_network(family, router_count)
+    )
     models = make_synthesis_models(
         star.topology,
         iip_ids=iip_ids,
@@ -104,4 +119,5 @@ def run_no_transit_experiment(
         star=star,
         seed=seed,
         iip_ids=list(iip_ids),
+        family=family,
     )

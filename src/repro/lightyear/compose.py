@@ -17,7 +17,11 @@ from typing import Dict, List, Tuple
 from ..batfish.bgpsim import BgpSimulation
 from ..netmodel.device import RouterConfig
 from ..netmodel.ip import Prefix
-from ..netmodel.routing_policy import SetCommunity
+from ..netmodel.routing_policy import (
+    Action,
+    PolicyEvaluationError,
+    SetCommunity,
+)
 from ..topology.model import Topology
 from .invariants import EgressFilterInvariant, IngressTagInvariant
 
@@ -131,8 +135,19 @@ def check_global_no_transit(
     configs: Dict[str, RouterConfig], topology: Topology
 ) -> GlobalCheckResult:
     """Simulate BGP and check the global property directly (§4.1's final
-    step): no ISP router holds another ISP's route, every ISP router
-    holds the customer route, and the hub holds every ISP route."""
+    step), on any topology family.
+
+    Hub-shaped (star) topologies use the paper's RIB-based reading: no
+    spoke holds another ISP's route, every spoke holds the customer
+    route, and the hub holds every ISP route.  Border-policy families
+    use the export-based reading: no router would advertise another
+    ISP's prefix to its own ISP, every ISP would receive the customer
+    prefix, and the CUSTOMER would receive every ISP prefix.
+    """
+    from ..topology.families import is_hub_star
+
+    if not is_hub_star(topology):
+        return _check_global_border(configs, topology)
     result = GlobalCheckResult()
     simulation = BgpSimulation(configs)
     simulation.run()
@@ -163,4 +178,111 @@ def check_global_no_transit(
                 result.isp_prefixes_missing_at_hub.append(
                     f"R1 has no route to {sender}'s prefix {prefix}"
                 )
+    return result
+
+
+def _exported_prefixes(
+    simulation: BgpSimulation,
+    router: str,
+    config: RouterConfig,
+    peer_ip,
+) -> "set[Prefix]":
+    """The prefixes a router would advertise to one external peer,
+    applying the export route-map attached to that neighbor (if any).
+
+    An undeclared neighbor exports nothing — the session would never
+    establish, which the reachability checks then surface.
+    """
+    if config.bgp is None:
+        return set()
+    neighbor = config.bgp.get_neighbor(peer_ip)
+    if neighbor is None:
+        return set()
+    export_map = (
+        config.get_route_map(neighbor.export_policy)
+        if neighbor.export_policy is not None
+        else None
+    )
+    exported = set()
+    for entry in simulation.rib(router).values():
+        route = entry.route
+        if export_map is not None:
+            try:
+                outcome = export_map.evaluate(route, config)
+            except PolicyEvaluationError:
+                continue
+            if outcome.action is Action.DENY:
+                continue
+        exported.add(route.prefix)
+    return exported
+
+
+def _check_global_border(
+    configs: Dict[str, RouterConfig], topology: Topology
+) -> GlobalCheckResult:
+    """Export-based global check for border-policy families."""
+    from ..topology.families import customer_attachment, isp_attachments
+
+    result = GlobalCheckResult()
+    simulation = BgpSimulation(configs)
+    simulation.run()
+    customer = customer_attachment(topology)
+    attachments = isp_attachments(topology)
+    isp_prefixes: Dict[str, List[Prefix]] = {}
+    for peer in attachments:
+        interface = topology.router(peer.router).interface(peer.interface)
+        isp_prefixes[peer.peer_name] = (
+            [interface.prefix] if interface is not None else []
+        )
+    customer_prefixes: List[Prefix] = []
+    if customer is not None:
+        interface = topology.router(customer.router).interface(
+            customer.interface
+        )
+        if interface is not None:
+            customer_prefixes = [interface.prefix]
+    for peer in attachments:
+        config = configs.get(peer.router)
+        if config is None:
+            result.customer_unreachable.append(
+                f"{peer.router} has no configuration, so {peer.peer_name} "
+                f"is cut off"
+            )
+            continue
+        exported = _exported_prefixes(
+            simulation, peer.router, config, peer.peer_ip
+        )
+        for other in attachments:
+            if other is peer:
+                continue
+            for prefix in isp_prefixes[other.peer_name]:
+                if prefix in exported:
+                    result.transit_violations.append(
+                        f"{peer.router} would advertise {other.peer_name}'s "
+                        f"prefix {prefix} to {peer.peer_name}: transit "
+                        f"through the customer network"
+                    )
+        if customer_prefixes and not any(
+            prefix in exported for prefix in customer_prefixes
+        ):
+            result.customer_unreachable.append(
+                f"{peer.peer_name} would not receive the customer prefix "
+                f"{customer_prefixes[0]} from {peer.router}"
+            )
+    if customer is not None:
+        config = configs.get(customer.router)
+        exported = (
+            _exported_prefixes(
+                simulation, customer.router, config, customer.peer_ip
+            )
+            if config is not None
+            else set()
+        )
+        for peer in attachments:
+            for prefix in isp_prefixes[peer.peer_name]:
+                if prefix not in exported:
+                    result.isp_prefixes_missing_at_hub.append(
+                        f"{customer.router} would not advertise "
+                        f"{peer.peer_name}'s prefix {prefix} to the CUSTOMER"
+                    )
     return result

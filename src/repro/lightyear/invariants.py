@@ -100,19 +100,36 @@ LocalInvariant = (
 
 
 def no_transit_invariants(topology: Topology) -> List[object]:
-    """Derive the no-transit local invariants for a star topology.
+    """Derive the no-transit local invariants for any topology family.
 
-    For each spoke ``Ri`` (i ≥ 2) with hub-side address ``a_i`` and
-    ingress tag ``t_i``:
+    **Hub-shaped (star) topologies** concentrate the policy on R1: for
+    each spoke ``Ri`` (i ≥ 2) with hub-side address ``a_i`` and ingress
+    tag ``t_i``:
 
     * R1 must tag routes learned from ``a_i`` with ``t_i``;
     * R1 must drop routes carrying ``t_j`` (for every j ≠ i) at the
       egress toward ``a_i``.
 
-    Together these imply the global policy: an ISP route is tagged on
-    entry, tags are never removed, and tagged routes never exit toward a
-    different ISP — while untagged customer routes flow everywhere.
+    **Every other family** places the same obligations on the border:
+    each ISP-attached router must tag routes arriving from its ISP with
+    that ISP's community and drop routes carrying any other ISP's
+    community at the egress back to its ISP.
+
+    Either way the set implies the global policy: an ISP route is tagged
+    on entry, tags are never removed, and tagged routes never exit
+    toward a different ISP — while untagged customer routes flow
+    everywhere.
     """
+    from ..topology.families import (
+        attachment_index,
+        is_hub_star,
+        isp_attachments,
+    )
+
+    if not is_hub_star(topology):
+        return _border_invariants(
+            isp_attachments(topology), attachment_index
+        )
     hub = topology.router("R1")
     spokes: List[Tuple[int, Ipv4Address]] = []
     for index, name in enumerate(topology.router_names(), start=1):
@@ -140,6 +157,35 @@ def no_transit_invariants(topology: Topology) -> List[object]:
             invariants.append(
                 EgressFilterInvariant(
                     router="R1", neighbor_ip=address, forbidden=forbidden
+                )
+            )
+    return invariants
+
+
+def _border_invariants(attachments, attachment_index) -> List[object]:
+    """Border placement: obligations live on each ISP-attached router's
+    own external session."""
+    tags = {
+        peer: ingress_community(attachment_index(peer)) for peer in attachments
+    }
+    invariants: List[object] = []
+    for peer in attachments:
+        invariants.append(
+            IngressTagInvariant(
+                router=peer.router,
+                neighbor_ip=peer.peer_ip,
+                community=tags[peer],
+            )
+        )
+        forbidden = frozenset(
+            tag for other, tag in tags.items() if other is not peer
+        )
+        if forbidden:
+            invariants.append(
+                EgressFilterInvariant(
+                    router=peer.router,
+                    neighbor_ip=peer.peer_ip,
+                    forbidden=forbidden,
                 )
             )
     return invariants

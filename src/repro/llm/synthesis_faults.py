@@ -41,6 +41,7 @@ from .faults import Fault
 __all__ = [
     "IIP_SUPPRESSED_FAULTS",
     "SYNTHESIS_SIDE_POOL",
+    "border_fault_assignment",
     "default_fault_assignment",
     "synthesis_fault_catalog",
 ]
@@ -89,6 +90,49 @@ def default_fault_assignment(router_count: int) -> Dict[str, List[str]]:
         "missing_network",
     ]
     assignment["R3"] = ["wrong_local_as"]
+    return assignment
+
+
+def border_fault_assignment(topology: Topology) -> Dict[str, List[str]]:
+    """Default faults for border-policy families (chain/ring/mesh/...).
+
+    The policy faults target concrete route-map names
+    (``FILTER_COMM_OUT_R2`` and friends), which in a border family live
+    on the router of the same index — so each lands on the router that
+    actually owns its map, and only when that router carries an ISP.
+    Routers whose target artifact is absent simply draft clean, like the
+    untouched spokes of the star assignment.
+    """
+    from ..topology.families import isp_attachments
+
+    names = topology.router_names()
+    count = len(names)
+    if count < 4:
+        raise ValueError("the default assignment needs at least 4 routers")
+    isp_routers = {peer.router for peer in isp_attachments(topology)}
+    assignment: Dict[str, List[str]] = {name: [] for name in names}
+
+    def put(router: str, *keys: str) -> None:
+        if router in assignment:
+            assignment[router].extend(keys)
+
+    put("R1", "cli_keywords", "extra_network", "extra_neighbor")
+    put("R2", "cli_keywords", "wrong_router_id")
+    put("R3", "wrong_local_as", "wrong_interface_ip")
+    if "R2" in isp_routers:
+        put("R2", "and_or_semantics")
+    if "R3" in isp_routers:
+        put("R3", "non_additive_set_community")
+    if "R4" in isp_routers:
+        put("R4", "egress_permits_tagged")
+    if count >= 5 and "R5" in isp_routers:
+        put("R5", "missing_ingress_tag")
+    inline_owner = f"R{min(6, count)}"
+    if inline_owner in isp_routers:
+        put(inline_owner, "inline_match_community")
+    last = f"R{count}"
+    if last in isp_routers and last != inline_owner:
+        put(last, "misplaced_neighbor_command")
     return assignment
 
 

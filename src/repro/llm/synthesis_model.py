@@ -19,6 +19,7 @@ from .simulated import SimulatedGPT4
 from .synthesis_faults import (
     IIP_SUPPRESSED_FAULTS,
     SYNTHESIS_SIDE_POOL,
+    border_fault_assignment,
     default_fault_assignment,
     synthesis_fault_catalog,
 )
@@ -40,7 +41,13 @@ def make_synthesis_model(
         raise KeyError(f"unknown router {router_name!r}")
     catalog = synthesis_fault_catalog(topology)
     if fault_keys is None:
-        assignment = default_fault_assignment(len(topology.routers))
+        from ..topology.families import is_hub_star
+
+        assignment = (
+            default_fault_assignment(len(topology.routers))
+            if is_hub_star(topology)
+            else border_fault_assignment(topology)
+        )
         fault_keys = assignment.get(router_name, [])
     active_iips = set(iip_ids)
     filtered = [

@@ -1,6 +1,17 @@
-"""Topology: JSON network model, star generator (Figure 4), and the
-paper's custom topology verifier (Table 3)."""
+"""Topology: JSON network model, the star generator (Figure 4) plus the
+chain/ring/mesh/dumbbell families, and the paper's custom topology
+verifier (Table 3)."""
 
+from .families import (
+    FAMILIES,
+    GeneratedNetwork,
+    generate_chain_network,
+    generate_dumbbell_network,
+    generate_mesh_network,
+    generate_network,
+    generate_ring_network,
+    is_hub_star,
+)
 from .generator import StarNetwork, generate_star_network, ingress_community
 from .model import (
     ExternalPeer,
@@ -19,6 +30,8 @@ from .verifier import (
 
 __all__ = [
     "ExternalPeer",
+    "FAMILIES",
+    "GeneratedNetwork",
     "InterfaceSpec",
     "Link",
     "NeighborSpec",
@@ -27,8 +40,14 @@ __all__ = [
     "Topology",
     "TopologyIssue",
     "TopologyIssueKind",
+    "generate_chain_network",
+    "generate_dumbbell_network",
+    "generate_mesh_network",
+    "generate_network",
+    "generate_ring_network",
     "generate_star_network",
     "ingress_community",
+    "is_hub_star",
     "verify_network",
     "verify_topology",
 ]

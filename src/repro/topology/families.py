@@ -1,0 +1,348 @@
+"""Topology families beyond the Figure 4 star.
+
+The paper closes with "much further testing in more complex use cases is
+needed".  This module supplies that diversity: chain, ring, full-mesh,
+and dumbbell generators that emit the same machine-readable
+:class:`~repro.topology.model.Topology` (plus prose description) as
+:func:`~repro.topology.generator.generate_star_network`, so every
+downstream stage — Modularizer, per-router synthesis, topology verifier,
+Lightyear-style local invariants, and the global BGP-simulation check —
+runs unchanged on any family.
+
+Conventions shared by all generated families:
+
+* routers ``R1..Rn``, router ``Ri`` in AS ``i``;
+* internal link *k* (1-based, in creation order) uses subnet
+  ``10.k.0.0/24`` with the lower-indexed endpoint at ``10.k.0.1`` and
+  the higher at ``10.k.0.2``; the lower endpoint announces the subnet;
+* the CUSTOMER attaches to ``R1`` on ``100.0.0.0/24`` (as in the star);
+* ``ISP_i`` attaches to ``Ri`` on ``200.i.0.0/24`` (router at ``.1``,
+  peer at ``.2``, AS ``1000 + i``) — every router except the customer
+  router carries an ISP, except in the dumbbell where the two core
+  routers stay ISP-free;
+* interface names count up per router (``eth0/0``, ``eth0/1``, ...),
+  links first, external attachments last.
+
+Unlike the star — whose no-transit policy is concentrated on the hub —
+these families place the policy on the *border* routers: each
+ISP-attached router tags its ISP's routes with that ISP's community when
+they enter the network and drops routes carrying any other ISP's
+community at the egress back out.  :func:`is_hub_star` tells the two
+placements apart structurally, so reference configs, invariants, and the
+global check dispatch without any family-specific flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..netmodel.ip import Ipv4Address, Prefix
+from .generator import (
+    CUSTOMER_ASN,
+    CUSTOMER_SUBNET,
+    generate_star_network,
+)
+from .model import (
+    ExternalPeer,
+    InterfaceSpec,
+    Link,
+    NeighborSpec,
+    RouterSpec,
+    Topology,
+)
+
+__all__ = [
+    "FAMILIES",
+    "GeneratedNetwork",
+    "attachment_index",
+    "customer_attachment",
+    "generate_chain_network",
+    "generate_dumbbell_network",
+    "generate_mesh_network",
+    "generate_network",
+    "generate_ring_network",
+    "is_hub_star",
+    "isp_attachments",
+]
+
+MIN_SIZE = 4  # the default fault assignment needs four routers
+MAX_SIZE = 22  # keeps the mesh's 10.k.0.0/24 link numbering in one octet
+
+
+@dataclass
+class GeneratedNetwork:
+    """Generator output: topology, prose description, and family name."""
+
+    topology: Topology
+    description: str
+    family: str
+
+    @property
+    def size(self) -> int:
+        return len(self.topology.routers)
+
+
+# -- role helpers ------------------------------------------------------------
+
+
+def customer_attachment(topology: Topology) -> Optional[ExternalPeer]:
+    """The CUSTOMER external peer, or None if the topology has none."""
+    for peer in topology.externals:
+        if peer.peer_name == "CUSTOMER":
+            return peer
+    return None
+
+
+def isp_attachments(topology: Topology) -> List[ExternalPeer]:
+    """Every non-CUSTOMER external attachment, in router order."""
+    peers = [
+        peer for peer in topology.externals if peer.peer_name != "CUSTOMER"
+    ]
+    order = {name: rank for rank, name in enumerate(topology.router_names())}
+    return sorted(peers, key=lambda peer: (order[peer.router], peer.peer_name))
+
+
+def attachment_index(peer: ExternalPeer) -> int:
+    """The numeric index of an ISP attachment (``ISP_5`` -> 5).
+
+    Falls back to the attached router's index so custom peer names still
+    get a deterministic community slot.
+    """
+    for name in (peer.peer_name, peer.router):
+        digits = "".join(char for char in name if char.isdigit())
+        if digits:
+            return int(digits)
+    raise ValueError(f"cannot derive an index for attachment {peer!r}")
+
+
+def is_hub_star(topology: Topology) -> bool:
+    """True iff the topology is hub-shaped: R1 links every other router
+    and no other internal links exist (the Figure 4 star).  Hub-shaped
+    networks keep the paper's hub-concentrated policy; everything else
+    uses border-placed policy."""
+    if "R1" not in topology.routers or not topology.links:
+        return False
+    others = {name for name in topology.routers if name != "R1"}
+    linked: Dict[str, int] = {}
+    for link in topology.links:
+        ends = {link.router_a, link.router_b}
+        if "R1" not in ends or len(ends) != 2:
+            return False
+        (other,) = ends - {"R1"}
+        linked[other] = linked.get(other, 0) + 1
+    return set(linked) == others and all(count == 1 for count in linked.values())
+
+
+# -- shared construction helpers ---------------------------------------------
+
+
+class _Builder:
+    """Accumulates routers/links/externals with the shared conventions."""
+
+    def __init__(self, name: str, size: int) -> None:
+        self.topology = Topology(name=name)
+        self._interface_counts: Dict[str, int] = {}
+        self._link_count = 0
+        for index in range(1, size + 1):
+            self.topology.add_router(
+                RouterSpec(
+                    name=f"R{index}",
+                    asn=index,
+                    router_id=Ipv4Address.parse("0.0.0.0"),  # fixed up later
+                )
+            )
+
+    def _next_interface(self, router: str) -> str:
+        count = self._interface_counts.get(router, 0)
+        self._interface_counts[router] = count + 1
+        return f"eth0/{count}"
+
+    def link(self, a: int, b: int) -> None:
+        """Join ``Ra`` and ``Rb`` with the next ``10.k.0.0/24`` subnet."""
+        low, high = sorted((a, b))
+        self._link_count += 1
+        subnet = Prefix.parse(f"10.{self._link_count}.0.0/24")
+        low_name, high_name = f"R{low}", f"R{high}"
+        low_address = Ipv4Address.parse(f"10.{self._link_count}.0.1")
+        high_address = Ipv4Address.parse(f"10.{self._link_count}.0.2")
+        low_interface = self._next_interface(low_name)
+        high_interface = self._next_interface(high_name)
+        low_spec = self.topology.router(low_name)
+        high_spec = self.topology.router(high_name)
+        low_spec.interfaces.append(
+            InterfaceSpec(name=low_interface, address=low_address, prefix=subnet)
+        )
+        high_spec.interfaces.append(
+            InterfaceSpec(name=high_interface, address=high_address, prefix=subnet)
+        )
+        low_spec.neighbors.append(
+            NeighborSpec(ip=high_address, asn=high, peer_name=high_name)
+        )
+        high_spec.neighbors.append(
+            NeighborSpec(ip=low_address, asn=low, peer_name=low_name)
+        )
+        low_spec.networks.append(subnet)
+        self.topology.links.append(
+            Link(
+                router_a=low_name,
+                interface_a=low_interface,
+                router_b=high_name,
+                interface_b=high_interface,
+                subnet=subnet,
+            )
+        )
+
+    def attach_customer(self, index: int = 1) -> None:
+        router_name = f"R{index}"
+        spec = self.topology.router(router_name)
+        subnet = Prefix.parse(CUSTOMER_SUBNET)
+        address = Ipv4Address.parse("100.0.0.1")
+        peer_ip = Ipv4Address.parse("100.0.0.2")
+        interface = self._next_interface(router_name)
+        spec.interfaces.append(
+            InterfaceSpec(name=interface, address=address, prefix=subnet)
+        )
+        spec.neighbors.append(
+            NeighborSpec(ip=peer_ip, asn=CUSTOMER_ASN, peer_name="CUSTOMER")
+        )
+        spec.networks.append(subnet)
+        self.topology.externals.append(
+            ExternalPeer(
+                router=router_name,
+                interface=interface,
+                peer_name="CUSTOMER",
+                peer_ip=peer_ip,
+                peer_asn=CUSTOMER_ASN,
+            )
+        )
+
+    def attach_isp(self, index: int) -> None:
+        router_name = f"R{index}"
+        spec = self.topology.router(router_name)
+        subnet = Prefix.parse(f"200.{index}.0.0/24")
+        address = Ipv4Address.parse(f"200.{index}.0.1")
+        peer_ip = Ipv4Address.parse(f"200.{index}.0.2")
+        interface = self._next_interface(router_name)
+        spec.interfaces.append(
+            InterfaceSpec(name=interface, address=address, prefix=subnet)
+        )
+        spec.neighbors.append(
+            NeighborSpec(
+                ip=peer_ip, asn=1000 + index, peer_name=f"ISP_{index}"
+            )
+        )
+        spec.networks.append(subnet)
+        self.topology.externals.append(
+            ExternalPeer(
+                router=router_name,
+                interface=interface,
+                peer_name=f"ISP_{index}",
+                peer_ip=peer_ip,
+                peer_asn=1000 + index,
+            )
+        )
+
+    def finish(self, family: str) -> GeneratedNetwork:
+        for name in self.topology.router_names():
+            spec = self.topology.router(name)
+            if not spec.interfaces:
+                raise ValueError(f"router {name} ended up unconnected")
+            spec.router_id = spec.interfaces[0].address
+        from .generator import _describe
+
+        return GeneratedNetwork(
+            topology=self.topology,
+            description=_describe(self.topology),
+            family=family,
+        )
+
+
+def _check_size(size: int, family: str) -> None:
+    if not MIN_SIZE <= size <= MAX_SIZE:
+        raise ValueError(
+            f"{family} size must be in [{MIN_SIZE}, {MAX_SIZE}], got {size}"
+        )
+
+
+# -- the families ------------------------------------------------------------
+
+
+def generate_chain_network(size: int) -> GeneratedNetwork:
+    """``R1 - R2 - ... - Rn``; CUSTOMER at R1, ISPs at R2..Rn."""
+    _check_size(size, "chain")
+    builder = _Builder(f"chain-{size}", size)
+    for index in range(1, size):
+        builder.link(index, index + 1)
+    builder.attach_customer()
+    for index in range(2, size + 1):
+        builder.attach_isp(index)
+    return builder.finish("chain")
+
+
+def generate_ring_network(size: int) -> GeneratedNetwork:
+    """A chain closed into a cycle; CUSTOMER at R1, ISPs at R2..Rn."""
+    _check_size(size, "ring")
+    builder = _Builder(f"ring-{size}", size)
+    for index in range(1, size):
+        builder.link(index, index + 1)
+    builder.link(size, 1)
+    builder.attach_customer()
+    for index in range(2, size + 1):
+        builder.attach_isp(index)
+    return builder.finish("ring")
+
+
+def generate_mesh_network(size: int) -> GeneratedNetwork:
+    """Every router pair directly linked; CUSTOMER at R1, ISPs at
+    R2..Rn."""
+    _check_size(size, "mesh")
+    builder = _Builder(f"mesh-{size}", size)
+    for a in range(1, size + 1):
+        for b in range(a + 1, size + 1):
+            builder.link(a, b)
+    builder.attach_customer()
+    for index in range(2, size + 1):
+        builder.attach_isp(index)
+    return builder.finish("mesh")
+
+
+def generate_dumbbell_network(size: int) -> GeneratedNetwork:
+    """Two cores (R1, R2) joined by one bottleneck link; the remaining
+    routers hang off the cores alternately.  CUSTOMER at R1; ISPs on the
+    leaves only — the cores stay policy-free transit routers."""
+    _check_size(size, "dumbbell")
+    builder = _Builder(f"dumbbell-{size}", size)
+    builder.link(1, 2)
+    for index in range(3, size + 1):
+        builder.link(1 if index % 2 == 1 else 2, index)
+    builder.attach_customer()
+    for index in range(3, size + 1):
+        builder.attach_isp(index)
+    return builder.finish("dumbbell")
+
+
+def _generate_star(size: int) -> GeneratedNetwork:
+    star = generate_star_network(size)
+    return GeneratedNetwork(
+        topology=star.topology, description=star.description, family="star"
+    )
+
+
+FAMILIES: Dict[str, Callable[[int], GeneratedNetwork]] = {
+    "star": _generate_star,
+    "chain": generate_chain_network,
+    "ring": generate_ring_network,
+    "mesh": generate_mesh_network,
+    "dumbbell": generate_dumbbell_network,
+}
+
+
+def generate_network(family: str, size: int) -> GeneratedNetwork:
+    """Generate one network of the named family."""
+    try:
+        generator = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise ValueError(f"unknown family {family!r} (known: {known})") from None
+    return generator(size)

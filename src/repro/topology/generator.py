@@ -168,8 +168,11 @@ def _describe(topology: Topology) -> str:
     to Router R2 via interface I1 at R1 and I2 at R2")."""
     sentences: List[str] = []
     names = topology.router_names()
+    kind = topology.name.split("-")[0]
+    if kind not in ("star", "chain", "ring", "mesh", "dumbbell"):
+        kind = "network"
     sentences.append(
-        f"The network is a star of {len(names)} routers named "
+        f"The network is a {kind} of {len(names)} routers named "
         f"{', '.join(names)}. Router Ri runs BGP in autonomous system i."
     )
     for link in topology.links:

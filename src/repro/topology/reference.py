@@ -1,4 +1,4 @@
-"""Reference no-transit configurations for a star topology.
+"""Reference no-transit configurations for any topology family.
 
 This is the ground truth for the local-synthesis use case (§4): for each
 router of the star, the config a competent operator would write.  The
@@ -12,6 +12,23 @@ Community-list numbering follows §4.2's example: list ``1`` permits
 list ``j-1`` holds ``R<j>``'s ingress tag.  The egress filter to ``Ri``
 uses one ``deny`` stanza per *other* ISP's list (separate stanzas, i.e.
 OR semantics — the correct form GPT-4 needed a human prompt to reach).
+
+For the non-star families (chain, ring, mesh, dumbbell) there is no hub
+through which all transit flows, so the same mechanism moves to the
+*border*: each ISP-attached router ``Ri``
+
+* tags routes arriving from its ISP with ``Ri``'s community
+  (``ADD_COMM_Ri`` on the external import — the real-world ingress),
+* tags its own ISP subnet with the same community when advertising it
+  into the core (``EXPORT_CORE_Ri``, matched via a prefix-list, since
+  the simulation originates the ISP subnet locally), and
+* drops routes carrying any *other* ISP's community at the egress back
+  to its ISP (``FILTER_COMM_OUT_Ri``, same OR-stanza shape as the hub).
+
+Communities are never stripped in between (all sets are additive), so
+the local obligations compose into the global no-transit property on
+any internal graph.  :func:`build_reference_configs` dispatches on
+:func:`~repro.topology.families.is_hub_star`.
 """
 
 from __future__ import annotations
@@ -22,23 +39,30 @@ from ..netmodel.bgp import BgpNeighbor
 from ..netmodel.communities import CommunityList, CommunityListEntry
 from ..netmodel.device import RouterConfig, Vendor
 from ..netmodel.interfaces import Interface
+from ..netmodel.ip import PrefixRange
+from ..netmodel.prefixlist import PrefixList
 from ..netmodel.routing_policy import (
     Action,
     MatchCommunityList,
+    MatchPrefixList,
     RouteMap,
     RouteMapClause,
     SetCommunity,
 )
+from .families import attachment_index, is_hub_star, isp_attachments
 from .generator import ingress_community
-from .model import RouterSpec, Topology
+from .model import ExternalPeer, RouterSpec, Topology
 
 __all__ = [
+    "build_border_config",
     "build_reference_configs",
     "build_spoke_config",
     "build_hub_config",
     "community_list_number",
+    "core_export_map_name",
     "egress_map_name",
     "ingress_map_name",
+    "isp_prefix_list_name",
 ]
 
 
@@ -57,16 +81,37 @@ def egress_map_name(router_index: int) -> str:
     return f"FILTER_COMM_OUT_R{router_index}"
 
 
+def core_export_map_name(router_index: int) -> str:
+    return f"EXPORT_CORE_R{router_index}"
+
+
+def isp_prefix_list_name(router_index: int) -> str:
+    return f"PL_ISP_R{router_index}"
+
+
 def build_reference_configs(topology: Topology) -> Dict[str, RouterConfig]:
-    """Reference configs for every router of the star."""
+    """Reference configs for every router of any topology family.
+
+    Hub-shaped (star) topologies keep the paper's hub-concentrated
+    policy; all other families get border-placed policy.
+    """
     configs: Dict[str, RouterConfig] = {}
-    spoke_indices = _spoke_indices(topology)
+    if is_hub_star(topology):
+        spoke_indices = _spoke_indices(topology)
+        for name in topology.router_names():
+            spec = topology.router(name)
+            if name == "R1":
+                configs[name] = build_hub_config(spec, spoke_indices)
+            else:
+                configs[name] = build_spoke_config(spec)
+        return configs
+    attachments = isp_attachments(topology)
+    attachment_of = {peer.router: peer for peer in attachments}
     for name in topology.router_names():
         spec = topology.router(name)
-        if name == "R1":
-            configs[name] = build_hub_config(spec, spoke_indices)
-        else:
-            configs[name] = build_spoke_config(spec)
+        configs[name] = build_border_config(
+            spec, attachment_of.get(name), attachments
+        )
     return configs
 
 
@@ -148,6 +193,68 @@ def _egress_map(index: int, spoke_indices: List[int]) -> RouteMap:
         route_map.add_clause(clause)
         seq += 10
     route_map.add_clause(RouteMapClause(seq=seq, action=Action.PERMIT))
+    return route_map
+
+
+def build_border_config(
+    spec: RouterSpec,
+    attachment: "ExternalPeer | None",
+    attachments: List[ExternalPeer],
+) -> RouterConfig:
+    """One router of a border-policy family.
+
+    Routers without an ISP attachment (the customer router, the
+    dumbbell cores) are plain spokes; ISP-attached routers carry the
+    full tag/filter policy on their own external session plus the
+    prefix-list-scoped tagging of their ISP subnet toward the core.
+    """
+    config = build_spoke_config(spec)
+    if attachment is None:
+        return config
+    index = attachment_index(attachment)
+    tag = ingress_community(index)
+    other_indices = []
+    for peer in attachments:
+        peer_index = attachment_index(peer)
+        community_list = CommunityList(str(community_list_number(peer_index)))
+        community_list.add(
+            CommunityListEntry(
+                action="permit", communities=(ingress_community(peer_index),)
+            )
+        )
+        config.add_community_list(community_list)
+        if peer_index != index:
+            other_indices.append(peer_index)
+    isp_subnet = spec.interface(attachment.interface)
+    assert isp_subnet is not None
+    prefix_list = PrefixList(isp_prefix_list_name(index))
+    prefix_list.add("permit", PrefixRange.exact(isp_subnet.prefix))
+    config.add_prefix_list(prefix_list)
+    config.add_route_map(_ingress_map(index))
+    config.add_route_map(_egress_map(index, sorted(other_indices + [index])))
+    config.add_route_map(_core_export_map(index))
+    assert config.bgp is not None
+    for neighbor in config.bgp.neighbors.values():
+        if neighbor.ip == attachment.peer_ip:
+            neighbor.import_policy = ingress_map_name(index)
+            neighbor.export_policy = egress_map_name(index)
+            continue
+        peer = spec.neighbor_with_ip(neighbor.ip)
+        if peer is not None and peer.peer_name.startswith("R"):
+            neighbor.export_policy = core_export_map_name(index)
+    return config
+
+
+def _core_export_map(index: int) -> RouteMap:
+    """``EXPORT_CORE_Ri``: tag the router's own ISP subnet (matched via
+    its prefix-list) when advertising into the core; pass everything
+    else untouched."""
+    route_map = RouteMap(core_export_map_name(index))
+    tagging = RouteMapClause(seq=10, action=Action.PERMIT)
+    tagging.matches.append(MatchPrefixList(isp_prefix_list_name(index)))
+    tagging.sets.append(SetCommunity((ingress_community(index),), additive=True))
+    route_map.add_clause(tagging)
+    route_map.add_clause(RouteMapClause(seq=20, action=Action.PERMIT))
     return route_map
 
 

@@ -1,0 +1,140 @@
+"""The parallel scenario-campaign engine."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    PROFILES,
+    Scenario,
+    build_grid,
+    run_campaign,
+    run_scenario,
+    scenario_seed,
+)
+from repro.experiments.no_transit import run_no_transit_experiment
+
+
+def _row_key(row):
+    return (
+        row.family, row.size, row.seed, row.profile, row.iips,
+        row.automated_prompts, row.human_prompts, row.leverage,
+        row.verified, row.global_ok, row.error,
+    )
+
+
+class TestGrid:
+    def test_grid_enumeration(self):
+        grid = build_grid(["star", "chain"], [4, 6], seeds=2)
+        assert len(grid) == 8
+        assert grid[0] == Scenario(family="star", size=4, seed=0)
+        assert len(set(grid)) == len(grid)
+
+    def test_iip_ablation_doubles_the_grid(self):
+        grid = build_grid(["chain"], [4], seeds=1, iip_ablation=True)
+        assert [scenario.iips for scenario in grid] == [True, False]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            build_grid(["torus"], [4], seeds=1)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            build_grid(["star"], [4], seeds=1, profiles=["perfect"])
+
+    def test_scenario_seed_is_stable_and_distinct(self):
+        a = Scenario(family="chain", size=5, seed=0)
+        b = Scenario(family="chain", size=5, seed=1)
+        assert scenario_seed(a) == scenario_seed(a)
+        assert scenario_seed(a) != scenario_seed(b)
+
+
+class TestRunScenario:
+    def test_runs_the_full_loop(self):
+        row = run_scenario(Scenario(family="ring", size=4, seed=0))
+        assert row.error is None
+        assert row.verified and row.global_ok
+        assert row.automated_prompts > 0
+        assert row.duration_s > 0
+
+    def test_deterministic(self):
+        scenario = Scenario(family="mesh", size=5, seed=1)
+        assert _row_key(run_scenario(scenario)) == _row_key(
+            run_scenario(scenario)
+        )
+
+    def test_matches_direct_experiment(self):
+        scenario = Scenario(family="chain", size=4, seed=0)
+        row = run_scenario(scenario)
+        experiment = run_no_transit_experiment(
+            router_count=4,
+            seed=scenario_seed(scenario),
+            profile=PROFILES["default"],
+            family="chain",
+        )
+        assert row.automated_prompts == experiment.automated_prompts
+        assert row.human_prompts == experiment.human_prompts
+        assert row.verified == experiment.result.verified
+
+    def test_error_row_instead_of_raising(self):
+        row = run_scenario(Scenario(family="chain", size=999, seed=0))
+        assert row.error is not None
+        assert not row.verified
+
+
+class TestRunCampaign:
+    def test_serial_campaign(self):
+        grid = build_grid(["star", "dumbbell"], [4], seeds=1)
+        summary = run_campaign(grid, workers=1)
+        assert len(summary.rows) == 2
+        assert not summary.errors
+        assert all(row.verified for row in summary.rows)
+
+    def test_parallel_matches_serial(self):
+        grid = build_grid(["chain", "ring"], [4, 5], seeds=1)
+        serial = run_campaign(grid, workers=1)
+        parallel = run_campaign(grid, workers=2)
+        assert [_row_key(row) for row in serial.rows] == [
+            _row_key(row) for row in parallel.rows
+        ]
+        assert parallel.workers == 2
+
+    def test_family_aggregates(self):
+        grid = build_grid(["chain"], [4, 5], seeds=1)
+        summary = run_campaign(grid, workers=1)
+        (aggregate,) = summary.by_family()
+        assert aggregate.family == "chain"
+        assert aggregate.scenarios == 2
+        assert aggregate.verified == 2
+        assert aggregate.verified_rate == 1.0
+
+    def test_render_lists_rows_and_aggregates(self):
+        summary = run_campaign(build_grid(["mesh"], [4], seeds=1))
+        text = summary.render()
+        assert "mesh" in text and "campaign:" in text
+
+
+class TestOutputs:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_campaign(
+            build_grid(["star", "chain"], [4], seeds=1), workers=1
+        )
+
+    def test_json_summary(self, summary, tmp_path):
+        path = summary.write_json(tmp_path / "campaign.json")
+        data = json.loads(path.read_text())
+        assert data["scenarios"] == 2
+        assert set(data["families"]) == {"star", "chain"}
+        assert len(data["rows"]) == 2
+        row = data["rows"][0]
+        assert {"family", "size", "seed", "verified", "leverage"} <= set(row)
+
+    def test_csv_rows(self, summary, tmp_path):
+        path = summary.write_csv(tmp_path / "campaign.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["family"] == "star"
+        assert rows[0]["verified"] == "True"
