@@ -1,13 +1,17 @@
-"""Scenario-campaign engine: parallel speedup over serial execution.
+"""Scenario-campaign engine: parallel speedup and symbolic-cache gains.
 
-Runs the same deterministic scenario grid serially and on a 4-worker
-process pool and reports the wall-clock ratio.  The speedup tracks the
-machine's core count — on a single-core box the two runs tie (pool
-overhead aside); the row-level results are identical either way.
+Two comparisons on the same deterministic scenario grids:
+
+* serial vs a 4-worker process pool (wall-clock ratio tracks the core
+  count; row-level results are identical either way);
+* `CandidateUniverse`/verdict memoization off vs on over a mesh grid —
+  the ROADMAP's dominant cost — reporting the cache hit rate alongside
+  the speedup.
 """
 
 from conftest import run_and_print
 from repro.experiments.campaign import build_grid, run_campaign
+from repro.symbolic import reset_caches, set_memoization
 
 WORKERS = 4
 
@@ -37,10 +41,41 @@ def _campaign_speedup() -> str:
     ]
     for summary in serial.by_family():
         lines.append("  " + summary.render())
+    lines.append("")
+    lines.append(_memoization_speedup())
     return "\n".join(lines)
+
+
+def _memoization_speedup() -> str:
+    """Mesh grid with the symbolic caches disabled vs enabled."""
+    grid = build_grid(["mesh"], [6, 8], seeds=2)
+    reset_caches()
+    set_memoization(False)
+    try:
+        cold = run_campaign(grid, workers=1)
+    finally:
+        set_memoization(True)
+    reset_caches()
+    warm = run_campaign(grid, workers=1)
+    assert [_row_key(row) for row in cold.rows] == [
+        _row_key(row) for row in warm.rows
+    ], "memoized campaign diverged from unmemoized"
+    speedup = cold.duration_s / max(warm.duration_s, 1e-9)
+    rate = warm.cache_hit_rate
+    return "\n".join(
+        [
+            f"universe memoization (mesh grid, {len(grid)} scenarios)",
+            f"  memoization off: {cold.duration_s:6.2f}s",
+            f"  memoization on : {warm.duration_s:6.2f}s",
+            f"  speedup: {speedup:.2f}x  cache: {warm.cache_hits} hits / "
+            f"{warm.cache_misses} misses "
+            f"({100 * (rate or 0):.1f}% hit rate)",
+        ]
+    )
 
 
 def test_campaign_parallel_speedup(benchmark, capsys):
     text = run_and_print(benchmark, capsys, _campaign_speedup)
     assert "speedup:" in text
     assert "verified (100.0%)" in text
+    assert "hit rate" in text

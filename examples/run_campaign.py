@@ -5,11 +5,15 @@ Usage::
     python examples/run_campaign.py [workers]
 
 Enumerates a (family × size × seed) grid, fans it out over a worker
-pool, and prints the per-scenario rows plus per-family aggregates —
-the programmatic equivalent of::
+pool while streaming results to a resumable JSONL journal, and prints
+the per-scenario rows plus per-family aggregates — the programmatic
+equivalent of::
 
     python -m repro campaign --families star,chain,ring,mesh \
-        --sizes 4,6 --seeds 2 --workers 4
+        --sizes 4,6 --seeds 2 --workers 4 --journal campaign_journal.jsonl
+
+Re-running after an interruption picks up where the journal left off
+(``resume=True`` below), producing the same summary byte for byte.
 """
 
 import sys
@@ -25,7 +29,12 @@ def main() -> int:
         seeds=2,
     )
     print(f"{len(grid)} scenarios on {workers} worker(s)\n")
-    summary = run_campaign(grid, workers=workers)
+    summary = run_campaign(
+        grid,
+        workers=workers,
+        journal_path="campaign_journal.jsonl",
+        resume=True,
+    )
     print(summary.render())
     path = summary.write_json("campaign_results.json")
     print(f"\nwrote {path}")

@@ -14,7 +14,11 @@ All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
 ``--no-iips``.  ``campaign`` takes comma-separated ``--families`` and
 ``--sizes``, a ``--seeds`` count, a ``--workers`` pool size, and writes
 a JSON summary (``--json``, default ``campaign_results.json``) plus an
-optional ``--csv``.
+optional ``--csv``.  Results stream to a JSONL journal (``--journal``,
+default ``campaign_journal.jsonl``; ``-`` disables) as each scenario
+completes; ``--resume <journal>`` skips scenarios the journal already
+holds, and ``--limit N`` stops after N scenarios (a deterministic
+interrupt for smoke tests).
 """
 
 from __future__ import annotations
@@ -24,6 +28,8 @@ import sys
 from typing import List, Optional
 
 __all__ = ["build_parser", "main"]
+
+DEFAULT_JOURNAL = "campaign_journal.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--csv", default=None, help="optional CSV results path"
+    )
+    campaign.add_argument(
+        "--journal",
+        default=None,
+        help=(
+            "JSONL journal streamed as scenarios complete "
+            f"(default {DEFAULT_JOURNAL}; '-' to disable)"
+        ),
+    )
+    campaign.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="resume from an existing journal, skipping completed scenarios",
+    )
+    campaign.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run at most N pending scenarios, then stop (for smoke tests)",
     )
     campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
@@ -235,10 +262,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    summary = run_campaign(grid, workers=args.workers)
+    explicit_journal = args.journal is not None
+    journal_arg = args.journal if explicit_journal else DEFAULT_JOURNAL
+    journal = None if journal_arg in ("", "-") else journal_arg
+    resume = False
+    if args.resume:
+        if explicit_journal and journal != args.resume:
+            print(
+                f"error: --journal {journal_arg} conflicts with --resume "
+                f"{args.resume}; a resumed campaign appends to the journal "
+                f"it resumes from",
+                file=sys.stderr,
+            )
+            return 2
+        journal = args.resume
+        resume = True
+    try:
+        summary = run_campaign(
+            grid,
+            workers=args.workers,
+            journal_path=journal,
+            resume=resume,
+            limit=args.limit,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.quiet:
         print(
-            f"campaign: {len(summary.rows)} scenarios, "
+            f"campaign: {len(summary.rows)}/{summary.total} scenarios, "
             f"{len(summary.errors)} errors, {summary.workers} worker(s), "
             f"{summary.duration_s:.2f}s"
         )
@@ -252,6 +304,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.csv:
         path = summary.write_csv(args.csv)
         print(f"wrote {path}")
+    if summary.incomplete and journal is not None:
+        print(
+            f"incomplete: {summary.total - len(summary.rows)} scenarios "
+            f"pending; continue with --resume {journal}"
+        )
     return 1 if summary.errors else 0
 
 

@@ -1,4 +1,4 @@
-"""Parallel scenario-campaign engine.
+"""Streaming, resumable scenario-campaign engine.
 
 The paper closes by noting that "much further testing in more complex
 use cases is needed".  This module industrializes that testing: it
@@ -10,10 +10,16 @@ scenario is seeded deterministically from its own coordinates, so a
 campaign's results are identical whether it runs serially or on any
 number of workers.
 
-Results are :class:`ScenarioResult` rows (the
-:class:`~repro.experiments.scaling.ScalingPoint` measurements plus the
-scenario coordinates), aggregated per family and writable as JSON or
-CSV.
+Execution streams: as each scenario completes, its result is appended
+(and flushed) to a JSONL *campaign journal*, so a crashed or killed
+grid loses at most the scenarios in flight.  The final
+:class:`CampaignSummary` is reconstructed by folding over the journal,
+and ``resume=True`` skips scenario keys the journal already holds — an
+interrupted campaign picks up where it left off and produces final
+JSON/CSV summaries byte-identical to an uninterrupted run.  To keep
+that guarantee at any worker count, the written summaries contain only
+deterministic fields; wall-clock timings and cache statistics live in
+the journal and the rendered report.
 """
 
 from __future__ import annotations
@@ -23,26 +29,33 @@ import json
 import math
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
 from ..core import DEFAULT_IIP_IDS
 from ..llm import BehaviorProfile
+from ..symbolic.memo import cache_totals
 from ..topology.families import FAMILIES
 
 __all__ = [
     "CampaignSummary",
+    "CompletedScenario",
     "FamilySummary",
+    "JOURNAL_VERSION",
     "PROFILES",
     "Scenario",
     "ScenarioResult",
     "build_grid",
+    "execute_scenario",
+    "fold_journal",
     "run_campaign",
     "run_scenario",
     "scenario_seed",
 ]
+
+JOURNAL_VERSION = 1
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -190,6 +203,130 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
 
 
 @dataclass(frozen=True)
+class CompletedScenario:
+    """One journal record: a result plus per-scenario cache accounting.
+
+    The cache numbers are operational (they depend on what the worker
+    process happened to have cached already), so they live here and in
+    the journal — never in the deterministic summary outputs.
+    """
+
+    key: str
+    row: ScenarioResult
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def execute_scenario(scenario: Scenario) -> CompletedScenario:
+    """Run one scenario and measure its symbolic-cache traffic."""
+    hits_before, misses_before = cache_totals()
+    row = run_scenario(scenario)
+    hits_after, misses_after = cache_totals()
+    return CompletedScenario(
+        key=scenario.key(),
+        row=row,
+        cache_hits=hits_after - hits_before,
+        cache_misses=misses_after - misses_before,
+    )
+
+
+# -- the campaign journal ------------------------------------------------------
+
+
+def _journal_header(grid: Sequence[Scenario]) -> str:
+    return json.dumps(
+        {
+            "kind": "campaign",
+            "version": JOURNAL_VERSION,
+            "scenarios": len(grid),
+        },
+        sort_keys=True,
+    )
+
+
+def _journal_line(completed: CompletedScenario) -> str:
+    return json.dumps(
+        {
+            "kind": "result",
+            "key": completed.key,
+            "row": asdict(completed.row),
+            "cache_hits": completed.cache_hits,
+            "cache_misses": completed.cache_misses,
+        },
+        sort_keys=True,
+    )
+
+
+def _append(handle: TextIO, line: str) -> None:
+    handle.write(line + "\n")
+    handle.flush()
+
+
+def _repair_trailing_newline(path: Path) -> None:
+    """Terminate a line truncated by a crash so appended records start
+    on their own line (the fold already skips the malformed fragment)."""
+    with path.open("rb+") as handle:
+        handle.seek(0, 2)
+        if handle.tell() == 0:
+            return
+        handle.seek(-1, 2)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+
+def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
+    """Reconstruct completed scenarios by folding over a journal.
+
+    Tolerant by design: malformed lines (e.g. a line truncated by the
+    crash that the journal exists to survive) are skipped, and a key
+    journaled twice keeps its latest record.
+    """
+    completed: Dict[str, CompletedScenario] = {}
+    target = Path(path)
+    if not target.exists():
+        return completed
+    with target.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "result":
+                continue
+            key = record.get("key")
+            row_fields = record.get("row")
+            if not isinstance(key, str) or not isinstance(row_fields, dict):
+                continue
+            try:
+                completed[key] = CompletedScenario(
+                    key=key,
+                    row=ScenarioResult(**row_fields),
+                    cache_hits=int(record.get("cache_hits") or 0),
+                    cache_misses=int(record.get("cache_misses") or 0),
+                )
+            except (TypeError, ValueError):
+                continue
+    return completed
+
+
+def _fold_for_grid(
+    journal: Path, key_set: "set[str]"
+) -> Dict[str, CompletedScenario]:
+    """The journal's records restricted to this grid's scenario keys."""
+    return {
+        key: record
+        for key, record in fold_journal(journal).items()
+        if key in key_set
+    }
+
+
+# -- summaries -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
 class FamilySummary:
     """Aggregate measurements over one family's scenarios."""
 
@@ -216,15 +353,40 @@ class FamilySummary:
 
 @dataclass
 class CampaignSummary:
-    """Every row of a campaign plus per-family aggregates."""
+    """Every completed row of a campaign plus per-family aggregates.
+
+    ``to_dict``/``write_json``/``write_csv`` emit only deterministic
+    fields — coordinates and measurements — so two campaigns over the
+    same grid produce byte-identical artifacts no matter the worker
+    count or how many times they were interrupted and resumed.
+    Wall-clock and cache accounting are exposed on the object (and in
+    :meth:`render`) but never written to the summary files.
+    """
 
     rows: List[ScenarioResult] = field(default_factory=list)
     workers: int = 1
     duration_s: float = 0.0
+    total_scenarios: Optional[int] = None  # grid size; None -> len(rows)
+    resumed: int = 0  # rows recovered from the journal, not re-run
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def errors(self) -> List[ScenarioResult]:
         return [row for row in self.rows if row.error is not None]
+
+    @property
+    def total(self) -> int:
+        return len(self.rows) if self.total_scenarios is None else self.total_scenarios
+
+    @property
+    def incomplete(self) -> bool:
+        return len(self.rows) < self.total
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else None
 
     def by_family(self) -> List[FamilySummary]:
         grouped: Dict[str, List[ScenarioResult]] = {}
@@ -255,10 +417,14 @@ class CampaignSummary:
             )
         return summaries
 
+    @staticmethod
+    def _row_dict(row: ScenarioResult) -> dict:
+        record = asdict(row)
+        del record["duration_s"]  # wall-clock: journal-only
+        return record
+
     def to_dict(self) -> dict:
         return {
-            "workers": self.workers,
-            "duration_s": round(self.duration_s, 3),
             "scenarios": len(self.rows),
             "errors": len(self.errors),
             "families": {
@@ -272,7 +438,7 @@ class CampaignSummary:
                 }
                 for summary in self.by_family()
             },
-            "rows": [asdict(row) for row in self.rows],
+            "rows": [self._row_dict(row) for row in self.rows],
         }
 
     def write_json(self, path: "Path | str") -> Path:
@@ -285,13 +451,13 @@ class CampaignSummary:
         columns = [
             "family", "size", "seed", "profile", "iips",
             "automated_prompts", "human_prompts", "leverage", "verified",
-            "global_ok", "duration_s", "error",
+            "global_ok", "error",
         ]
         with target.open("w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns)
             writer.writeheader()
             for row in self.rows:
-                record = asdict(row)
+                record = self._row_dict(row)
                 if record["leverage"] is None:
                     # None means "no human prompts" on a completed run;
                     # error rows keep the column empty.
@@ -302,34 +468,112 @@ class CampaignSummary:
     def render(self) -> str:
         lines = [row.render() for row in self.rows]
         lines.append("")
+        status = f"{len(self.rows)}/{self.total} scenarios"
+        if self.resumed:
+            status += f" ({self.resumed} resumed from journal)"
         lines.append(
-            f"campaign: {len(self.rows)} scenarios, "
-            f"{len(self.errors)} errors, {self.workers} worker(s), "
-            f"{self.duration_s:.2f}s"
+            f"campaign: {status}, {len(self.errors)} errors, "
+            f"{self.workers} worker(s), {self.duration_s:.2f}s"
         )
+        rate = self.cache_hit_rate
+        if rate is not None:
+            lines.append(
+                f"  symbolic cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses ({100 * rate:.1f}% hit rate)"
+            )
         for summary in self.by_family():
             lines.append("  " + summary.render())
         return "\n".join(lines)
 
 
+# -- the engine ----------------------------------------------------------------
+
+
 def run_campaign(
     scenarios: Iterable[Scenario],
     workers: int = 1,
+    journal_path: "Path | str | None" = None,
+    resume: bool = False,
+    limit: Optional[int] = None,
 ) -> CampaignSummary:
     """Run every scenario, serially or over a process pool.
 
-    Row order always matches scenario order, and per-scenario seeding
-    is position-independent, so ``workers`` only affects wall-clock.
+    Per-scenario seeding is position-independent and summary rows are
+    ordered by grid position, so ``workers`` only affects wall-clock.
+
+    With ``journal_path``, every completed scenario is appended to the
+    JSONL journal the moment it finishes, and the returned summary is
+    reconstructed by folding over that journal.  ``resume=True`` folds
+    the journal *first* and re-runs only the scenarios it lacks.
+    ``limit`` caps how many pending scenarios run (the deterministic
+    way to interrupt a campaign mid-grid).
     """
     grid = list(scenarios)
+    keys = [scenario.key() for scenario in grid]
+    key_set = set(keys)
     started = time.perf_counter()
-    if workers <= 1 or len(grid) <= 1:
-        rows = [run_scenario(scenario) for scenario in grid]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            rows = list(executor.map(run_scenario, grid, chunksize=1))
+    journal = Path(journal_path) if journal_path is not None else None
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal_path")
+    completed: Dict[str, CompletedScenario] = {}
+    if resume and journal.exists():
+        completed = _fold_for_grid(journal, key_set)
+    elif journal is not None and journal.exists() and _fold_for_grid(
+        journal, key_set
+    ):
+        # The journal exists to survive interruptions; silently
+        # truncating one that holds this grid's results would destroy
+        # exactly the work it protects.
+        raise ValueError(
+            f"journal {journal} already holds results for this grid; "
+            f"pass resume=True (--resume) to continue it, or remove the "
+            f"file to start over"
+        )
+    resumed = len(completed)
+    pending = [scenario for scenario in grid if scenario.key() not in completed]
+    if limit is not None:
+        pending = pending[: max(0, limit)]
+
+    handle: Optional[TextIO] = None
+    if journal is not None:
+        appending = resume and journal.exists()
+        if appending:
+            _repair_trailing_newline(journal)
+        handle = journal.open("a" if appending else "w")
+        if not appending:
+            _append(handle, _journal_header(grid))
+    try:
+        if workers <= 1 or len(pending) <= 1:
+            for scenario in pending:
+                record = execute_scenario(scenario)
+                completed[record.key] = record
+                if handle is not None:
+                    _append(handle, _journal_line(record))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(execute_scenario, scenario)
+                    for scenario in pending
+                ]
+                for future in as_completed(futures):
+                    record = future.result()
+                    completed[record.key] = record
+                    if handle is not None:
+                        _append(handle, _journal_line(record))
+    finally:
+        if handle is not None:
+            handle.close()
+
+    if journal is not None:
+        # The journal, not in-process state, is the source of truth.
+        completed = _fold_for_grid(journal, key_set)
+    ordered = [completed[key] for key in keys if key in completed]
     return CampaignSummary(
-        rows=rows,
+        rows=[record.row for record in ordered],
         workers=max(1, workers),
         duration_s=time.perf_counter() - started,
+        total_scenarios=len(grid),
+        resumed=resumed,
+        cache_hits=sum(record.cache_hits for record in ordered),
+        cache_misses=sum(record.cache_misses for record in ordered),
     )

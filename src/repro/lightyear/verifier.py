@@ -4,6 +4,14 @@ Violations carry a concrete counterexample route, phrased the way
 Table 3's semantic-error prompt is ("The route-map DROP_COMMUNITY
 permits routes that have the community 100:1. However, they should be
 denied.").
+
+Checks are memoized per (invariant, canonicalized route-map structure):
+the synthesis loop re-verifies every router after each correction
+round, and campaign grids repeat the same reference shapes across
+seeds and profiles, so most checks are repeats of a question already
+answered.  The canonical key resolves named lists through the config
+(see :func:`repro.symbolic.canonical_route_map_key`), so a cache hit is
+guaranteed to denote a semantically identical check.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from typing import List, Optional
 from ..netmodel.device import RouterConfig
 from ..netmodel.route import Route
 from ..netmodel.routing_policy import Action, PolicyEvaluationError, RouteMap
-from ..symbolic import CandidateUniverse, RouteConstraint
+from ..symbolic import CandidateUniverse, RouteConstraint, canonical_route_map_key
+from ..symbolic.memo import MemoCache
 from .invariants import (
     EgressFilterInvariant,
     EgressPrependInvariant,
@@ -22,6 +31,9 @@ from .invariants import (
 )
 
 __all__ = ["InvariantViolation", "verify_invariant", "verify_invariants"]
+
+# (invariant, canonical policy key) -> Optional[InvariantViolation]
+_VERDICT_CACHE = MemoCache("invariant-verdict")
 
 
 @dataclass(frozen=True)
@@ -66,13 +78,24 @@ def verify_invariant(
     config: RouterConfig, invariant: object
 ) -> Optional[InvariantViolation]:
     """Check one invariant; ``None`` means it holds."""
-    if isinstance(invariant, IngressTagInvariant):
-        return _verify_ingress_tag(config, invariant)
-    if isinstance(invariant, EgressFilterInvariant):
-        return _verify_egress_filter(config, invariant)
-    if isinstance(invariant, EgressPrependInvariant):
-        return _verify_egress_prepend(config, invariant)
-    raise TypeError(f"unknown invariant type: {type(invariant).__name__}")
+    checker = _CHECKERS.get(type(invariant))
+    if checker is None:
+        raise TypeError(f"unknown invariant type: {type(invariant).__name__}")
+    route_map, name = _attached_policy(
+        config, invariant.neighbor_ip, invariant.direction
+    )
+    if route_map is None:
+        return _missing_policy_violation(invariant, name)
+    policy_key = canonical_route_map_key(config, route_map)
+    if policy_key is None:
+        return checker(config, route_map, invariant)
+    key = (invariant, policy_key)
+    hit, verdict = _VERDICT_CACHE.lookup(key)
+    if hit:
+        return verdict
+    verdict = checker(config, route_map, invariant)
+    _VERDICT_CACHE.store(key, verdict)
+    return verdict
 
 
 def _attached_policy(
@@ -91,25 +114,44 @@ def _attached_policy(
     return config.get_route_map(name), name
 
 
-def _verify_ingress_tag(
-    config: RouterConfig, invariant: IngressTagInvariant
-) -> Optional[InvariantViolation]:
-    route_map, name = _attached_policy(config, invariant.neighbor_ip, "import")
-    if route_map is None:
-        return InvariantViolation(
-            invariant=invariant,
-            router=invariant.router,
-            policy_name=name,
-            witness=Route(prefix=_placeholder_prefix()),
-            message=(
-                f"No import route-map is attached for neighbor "
-                f"{invariant.neighbor_ip} on {invariant.router}, so routes "
-                f"are not tagged with the community {invariant.community}"
-            ),
+def _missing_policy_violation(
+    invariant: object, policy_name: str
+) -> InvariantViolation:
+    """The "no route-map attached" violation, phrased per invariant."""
+    if isinstance(invariant, IngressTagInvariant):
+        message = (
+            f"No import route-map is attached for neighbor "
+            f"{invariant.neighbor_ip} on {invariant.router}, so routes "
+            f"are not tagged with the community {invariant.community}"
         )
-    universe = CandidateUniverse()
-    universe.add_policy(config, route_map)
-    for route in universe.routes():
+    elif isinstance(invariant, EgressFilterInvariant):
+        message = (
+            f"No export route-map is attached for neighbor "
+            f"{invariant.neighbor_ip} on {invariant.router}, so tagged "
+            f"routes are not filtered"
+        )
+    else:
+        message = (
+            f"No export route-map is attached for neighbor "
+            f"{invariant.neighbor_ip} on {invariant.router}, so routes "
+            f"are exported without the AS-path prepend"
+        )
+    return InvariantViolation(
+        invariant=invariant,
+        router=invariant.router,
+        policy_name=policy_name,
+        witness=Route(prefix=_placeholder_prefix()),
+        message=message,
+    )
+
+
+def _verify_ingress_tag(
+    config: RouterConfig,
+    route_map: RouteMap,
+    invariant: IngressTagInvariant,
+) -> Optional[InvariantViolation]:
+    universe = CandidateUniverse.for_policy(config, route_map)
+    for route in universe.cached_routes():
         try:
             outcome = route_map.evaluate(route, config)
         except PolicyEvaluationError:
@@ -133,27 +175,15 @@ def _verify_ingress_tag(
 
 
 def _verify_egress_filter(
-    config: RouterConfig, invariant: EgressFilterInvariant
+    config: RouterConfig,
+    route_map: RouteMap,
+    invariant: EgressFilterInvariant,
 ) -> Optional[InvariantViolation]:
-    route_map, name = _attached_policy(config, invariant.neighbor_ip, "export")
-    if route_map is None:
-        return InvariantViolation(
-            invariant=invariant,
-            router=invariant.router,
-            policy_name=name,
-            witness=Route(prefix=_placeholder_prefix()),
-            message=(
-                f"No export route-map is attached for neighbor "
-                f"{invariant.neighbor_ip} on {invariant.router}, so tagged "
-                f"routes are not filtered"
-            ),
-        )
     for community in sorted(invariant.forbidden):
         constraint = RouteConstraint.with_community(community)
-        universe = CandidateUniverse()
-        universe.add_policy(config, route_map)
+        universe = CandidateUniverse.for_policy(config, route_map)
         universe.add_constraint(constraint)
-        for route in universe.routes(constraint):
+        for route in universe.cached_routes(constraint):
             try:
                 outcome = route_map.evaluate(route, config)
             except PolicyEvaluationError:
@@ -174,25 +204,13 @@ def _verify_egress_filter(
 
 
 def _verify_egress_prepend(
-    config: RouterConfig, invariant: EgressPrependInvariant
+    config: RouterConfig,
+    route_map: RouteMap,
+    invariant: EgressPrependInvariant,
 ) -> Optional[InvariantViolation]:
-    route_map, name = _attached_policy(config, invariant.neighbor_ip, "export")
-    if route_map is None:
-        return InvariantViolation(
-            invariant=invariant,
-            router=invariant.router,
-            policy_name=name,
-            witness=Route(prefix=_placeholder_prefix()),
-            message=(
-                f"No export route-map is attached for neighbor "
-                f"{invariant.neighbor_ip} on {invariant.router}, so routes "
-                f"are exported without the AS-path prepend"
-            ),
-        )
     expected = (invariant.asn,) * invariant.count
-    universe = CandidateUniverse()
-    universe.add_policy(config, route_map)
-    for route in universe.routes():
+    universe = CandidateUniverse.for_policy(config, route_map)
+    for route in universe.cached_routes():
         try:
             outcome = route_map.evaluate(route, config)
         except PolicyEvaluationError:
@@ -217,6 +235,13 @@ def _verify_egress_prepend(
                 ),
             )
     return None
+
+
+_CHECKERS = {
+    IngressTagInvariant: _verify_ingress_tag,
+    EgressFilterInvariant: _verify_egress_filter,
+    EgressPrependInvariant: _verify_egress_prepend,
+}
 
 
 def _placeholder_prefix():

@@ -8,12 +8,14 @@ client can replace it behind the same :class:`LLMClient` protocol.
 
 from .behavior import BehaviorProfile, CorrectionOutcome, sample_outcome
 from .client import ChatMessage, ChatRole, ChatTranscript, LLMClient
-from .faults import DraftState, Fault
+from .faults import DraftState, Fault, FaultTargetError
 from .replay import ReplayClient, responses_of
 from .simulated import CorrectionStats, SimulatedGPT4
 from .synthesis_faults import (
     IIP_SUPPRESSED_FAULTS,
+    border_fault_assignment,
     default_fault_assignment,
+    fault_designations,
     synthesis_fault_catalog,
 )
 from .synthesis_model import make_synthesis_model, make_synthesis_models
@@ -34,12 +36,15 @@ __all__ = [
     "DEFAULT_INITIAL_FAULTS",
     "DraftState",
     "Fault",
+    "FaultTargetError",
     "IIP_SUPPRESSED_FAULTS",
     "LLMClient",
     "ReplayClient",
     "SIDE_POOL_FAULTS",
     "SimulatedGPT4",
+    "border_fault_assignment",
     "default_fault_assignment",
+    "fault_designations",
     "make_synthesis_model",
     "make_synthesis_models",
     "make_translation_model",

@@ -25,10 +25,22 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ErrorCategory
 from ..netmodel.device import RouterConfig
 
-__all__ = ["DraftState", "Fault"]
+__all__ = ["DraftState", "Fault", "FaultTargetError"]
 
 IrTransform = Callable[[RouterConfig], None]
 TextTransform = Callable[[str], str]
+
+
+class FaultTargetError(RuntimeError):
+    """A fault was injected into a draft that lacks its target.
+
+    Fault transforms address concrete artifacts — a neighbor IP, an
+    announced network, an interface, a route-map.  Historically a
+    missing target made the transform a silent no-op, so a misassigned
+    fault "passed" every check vacuously.  Transforms now raise this
+    instead, surfacing the misassignment at injection time.
+    """
+
 
 
 @dataclass(frozen=True)

@@ -15,12 +15,22 @@ Three families, matching §4.1's error classification:
 Fault keys suppressed by Initial Instruction Prompts are listed in
 :data:`IIP_SUPPRESSED_FAULTS` — supplying the IIP removes them from the
 initial draft, reproducing §4.2's before/after.
+
+Fault *addressing* dispatches on topology family.  The star catalog
+keeps Table 3's literal targets (neighbor ``1.0.0.1``, network
+``1.0.0.0/24``, the hub's ``eth0/2``); every other family derives the
+equivalent artifact from the topology itself — a router's first
+internal BGP neighbor, its first announced link subnet, its ISP-facing
+interface.  A transform whose target is absent from the draft raises
+:class:`~repro.llm.faults.FaultTargetError` instead of silently
+no-opping, so a misassigned fault fails loudly rather than passing
+every check vacuously.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ErrorCategory
 from ..netmodel.communities import Community
@@ -34,15 +44,17 @@ from ..netmodel.routing_policy import (
     RouteMapClause,
     SetCommunity,
 )
+from ..topology.families import is_hub_star, isp_attachments
 from ..topology.generator import ingress_community
 from ..topology.model import Topology
-from .faults import Fault
+from .faults import Fault, FaultTargetError
 
 __all__ = [
     "IIP_SUPPRESSED_FAULTS",
     "SYNTHESIS_SIDE_POOL",
     "border_fault_assignment",
     "default_fault_assignment",
+    "fault_designations",
     "synthesis_fault_catalog",
 ]
 
@@ -100,11 +112,10 @@ def border_fault_assignment(topology: Topology) -> Dict[str, List[str]]:
     (``FILTER_COMM_OUT_R2`` and friends), which in a border family live
     on the router of the same index — so each lands on the router that
     actually owns its map, and only when that router carries an ISP.
-    Routers whose target artifact is absent simply draft clean, like the
-    untouched spokes of the star assignment.
+    The addressed topology faults (missing neighbor/network) resolve
+    their targets per router, so R2 carries them in every family just
+    as it does in the star.
     """
-    from ..topology.families import isp_attachments
-
     names = topology.router_names()
     count = len(names)
     if count < 4:
@@ -117,10 +128,11 @@ def border_fault_assignment(topology: Topology) -> Dict[str, List[str]]:
             assignment[router].extend(keys)
 
     put("R1", "cli_keywords", "extra_network", "extra_neighbor")
-    put("R2", "cli_keywords", "wrong_router_id")
+    put("R2", "cli_keywords", "wrong_router_id", "missing_neighbor",
+        "missing_network")
     put("R3", "wrong_local_as", "wrong_interface_ip")
-    if "R2" in isp_routers:
-        put("R2", "and_or_semantics")
+    and_or_router, _ = _and_or_owner(topology)
+    put(and_or_router, "and_or_semantics")
     if "R3" in isp_routers:
         put("R3", "non_additive_set_community")
     if "R4" in isp_routers:
@@ -136,10 +148,106 @@ def border_fault_assignment(topology: Topology) -> Dict[str, List[str]]:
     return assignment
 
 
+def fault_designations(topology: Topology) -> Dict[str, str]:
+    """Which router each fault key is designated to land on, derived
+    from the topology's default assignment (first carrier in router
+    order).  Side-pool faults default to R1.  Faults absent from the
+    assignment (e.g. ``missing_ingress_tag`` below five routers) are
+    absent from the mapping."""
+    assignment = (
+        default_fault_assignment(len(topology.routers))
+        if is_hub_star(topology)
+        else border_fault_assignment(topology)
+    )
+    designations: Dict[str, str] = {}
+    for router in topology.router_names():
+        for key in assignment.get(router, []):
+            designations.setdefault(key, router)
+    for key in SYNTHESIS_SIDE_POOL:
+        designations.setdefault(key, "R1")
+    return designations
+
+
+# -- per-family target resolution ---------------------------------------------
+
+
+def _internal_neighbor_targets(topology: Topology) -> Dict[str, str]:
+    """router -> IP (string) of its first internal BGP neighbor."""
+    internal = set(topology.routers)
+    targets: Dict[str, str] = {}
+    for name in topology.router_names():
+        for spec in topology.router(name).neighbors:
+            if spec.peer_name in internal:
+                targets[name] = str(spec.ip)
+                break
+    return targets
+
+
+def _link_network_targets(topology: Topology) -> Dict[str, Prefix]:
+    """router -> the first link subnet that router announces."""
+    link_subnets = {link.subnet for link in topology.links}
+    targets: Dict[str, Prefix] = {}
+    for name in topology.router_names():
+        for network in topology.router(name).networks:
+            if network in link_subnets:
+                targets[name] = network
+                break
+    return targets
+
+
+def _interface_targets(topology: Topology) -> Dict[str, str]:
+    """router -> the interface whose address the fault corrupts.
+
+    Star: the hub's ``eth0/2`` (Table 3's literal example).  Border
+    families: each ISP-attached router's external interface — the one
+    artifact guaranteed to exist wherever the fault is assigned.
+    """
+    if is_hub_star(topology):
+        hub = topology.router("R1")
+        if hub.interface("eth0/2") is not None:
+            return {"R1": "eth0/2"}
+        return {}
+    targets: Dict[str, str] = {}
+    for peer in isp_attachments(topology):
+        targets.setdefault(peer.router, peer.interface)
+    return targets
+
+
+def _and_or_owner(topology: Topology) -> Tuple[str, str]:
+    """(router carrying the AND/OR fault, egress map it corrupts).
+
+    Star: the hub owns every egress map; §4.2's example corrupts
+    ``FILTER_COMM_OUT_R2``.  Border: the map lives on its own router —
+    R2 when R2 carries an ISP, else the first ISP-attached router (the
+    dumbbell's cores are ISP-free).
+    """
+    if is_hub_star(topology):
+        return "R1", "FILTER_COMM_OUT_R2"
+    isp_routers = [peer.router for peer in isp_attachments(topology)]
+    if "R2" in isp_routers:
+        owner = "R2"
+    elif isp_routers:
+        owner = isp_routers[0]
+    else:
+        owner = "R2"
+    digits = "".join(char for char in owner if char.isdigit())
+    return owner, f"FILTER_COMM_OUT_R{digits}"
+
+
 def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
-    """Build the catalog for a given star topology (it needs concrete
-    addresses and the spoke count)."""
+    """Build the catalog for a given topology (it needs concrete
+    addresses, map names, and the router count)."""
     router_count = len(topology.routers)
+    neighbor_targets = _internal_neighbor_targets(topology)
+    network_targets = _link_network_targets(topology)
+    interface_targets = _interface_targets(topology)
+    and_or_router, and_or_map = _and_or_owner(topology)
+    # Table 3 phrases its prompts against R2's draft; the pattern for an
+    # addressed fault is derived from the designated carrier's target.
+    neighbor_ip = neighbor_targets.get("R2", "1.0.0.1")
+    link_network = network_targets.get("R2", Prefix.parse("1.0.0.0/24"))
+    interface_owner = "R1" if is_hub_star(topology) else "R3"
+    interface_name = interface_targets.get(interface_owner, "eth0/2")
     faults: List[Fault] = []
 
     # -- syntax ----------------------------------------------------------------
@@ -212,8 +320,10 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             label="Interface IP address does not match the topology",
             category=ErrorCategory.TOPOLOGY,
             fixable_by_generated_prompt=True,
-            prompt_patterns=(r"Interface eth0/2 ip address",),
-            ir_transform=_wrong_interface_ip,
+            prompt_patterns=(
+                rf"Interface {re.escape(interface_name)} ip address",
+            ),
+            ir_transform=_shift_interface_ip(interface_targets),
         )
     )
     faults.append(
@@ -242,8 +352,10 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             label="BGP neighbor not declared",
             category=ErrorCategory.TOPOLOGY,
             fixable_by_generated_prompt=True,
-            prompt_patterns=(r"Neighbor with IP address 1\.0\.0\.1",),
-            ir_transform=_drop_hub_neighbor,
+            prompt_patterns=(
+                rf"Neighbor with IP address {re.escape(neighbor_ip)}",
+            ),
+            ir_transform=_drop_internal_neighbor(neighbor_targets),
         )
     )
     faults.append(
@@ -252,8 +364,10 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             label="Network not declared",
             category=ErrorCategory.TOPOLOGY,
             fixable_by_generated_prompt=True,
-            prompt_patterns=(r"Network 1\.0\.0\.0/24 not declared",),
-            ir_transform=_drop_link_network,
+            prompt_patterns=(
+                rf"Network {re.escape(str(link_network))} not declared",
+            ),
+            ir_transform=_drop_link_network(network_targets),
         )
     )
     faults.append(
@@ -285,7 +399,7 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             label="AND semantics used for community filtering",
             category=ErrorCategory.SEMANTIC,
             fixable_by_generated_prompt=False,
-            prompt_patterns=(r"FILTER_COMM_OUT_R2",),
+            prompt_patterns=(and_or_map,),
             human_prompt_patterns=(r"separate (route-map )?stanza",),
             human_prompt=(
                 "Multiple match statements inside one route-map stanza are "
@@ -293,7 +407,7 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
                 "of the communities, declare each match statement in a "
                 "separate route-map stanza with its own deny action."
             ),
-            ir_transform=_merge_deny_clauses("FILTER_COMM_OUT_R2"),
+            ir_transform=_merge_deny_clauses(and_or_map),
         )
     )
     faults.append(
@@ -332,11 +446,18 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
 # -- transform builders ------------------------------------------------------------
 
 
+def _require_map(config: RouterConfig, map_name: str, fault_key: str):
+    route_map = config.route_maps.get(map_name)
+    if route_map is None:
+        raise FaultTargetError(
+            f"{fault_key}: {config.hostname} has no route-map {map_name}"
+        )
+    return route_map
+
+
 def _make_inline_match(map_name: str):
     def transform(config: RouterConfig) -> None:
-        route_map = config.route_maps.get(map_name)
-        if route_map is None:
-            return
+        route_map = _require_map(config, map_name, "inline_match_community")
         for clause in route_map.clauses:
             if clause.action is Action.DENY and clause.matches:
                 condition = clause.matches[0]
@@ -349,6 +470,10 @@ def _make_inline_match(map_name: str):
                     )
                     clause.matches[0] = MatchCommunityInline(members[0])
                 return
+        raise FaultTargetError(
+            f"inline_match_community: {map_name} on {config.hostname} has "
+            f"no deny clause to corrupt"
+        )
 
     return transform
 
@@ -362,7 +487,10 @@ def _make_misplace_neighbor(last_spoke: int):
     def transform(text: str) -> str:
         match = pattern.search(text)
         if match is None:
-            return text
+            raise FaultTargetError(
+                f"misplaced_neighbor_command: no 'neighbor ... route-map "
+                f"FILTER_COMM_OUT_R{last_spoke} out' line in this draft"
+            )
         line = match.group(0)
         without = pattern.sub("", text, count=1)
         return line.strip() + "\n" + without
@@ -370,53 +498,103 @@ def _make_misplace_neighbor(last_spoke: int):
     return transform
 
 
-def _wrong_interface_ip(config: RouterConfig) -> None:
-    interface = config.get_interface("eth0/2")
-    if interface is not None and interface.address is not None:
-        # Swap the hub-side .1 for the spoke-side .2 on the link subnet.
+def _shift_interface_ip(targets: Dict[str, str]):
+    def transform(config: RouterConfig) -> None:
+        name = targets.get(config.hostname)
+        if name is None:
+            raise FaultTargetError(
+                f"wrong_interface_ip: no target interface designated for "
+                f"{config.hostname}"
+            )
+        interface = config.get_interface(name)
+        if interface is None or interface.address is None:
+            raise FaultTargetError(
+                f"wrong_interface_ip: {config.hostname} has no addressed "
+                f"interface {name}"
+            )
+        # Swap the router-side .1 for the peer-side .2 on the subnet.
         interface.address = Ipv4Address(interface.address.value + 1)
+
+    return transform
 
 
 def _wrong_local_as(config: RouterConfig) -> None:
-    if config.bgp is not None:
-        config.bgp.asn = 1 if config.bgp.asn != 1 else 99
+    if config.bgp is None:
+        raise FaultTargetError(
+            f"wrong_local_as: {config.hostname} has no BGP process"
+        )
+    config.bgp.asn = 1 if config.bgp.asn != 1 else 99
 
 
 def _wrong_router_id(config: RouterConfig) -> None:
-    if config.bgp is not None and config.bgp.router_id is not None:
-        config.bgp.router_id = Ipv4Address(config.bgp.router_id.value - 1)
+    if config.bgp is None or config.bgp.router_id is None:
+        raise FaultTargetError(
+            f"wrong_router_id: {config.hostname} has no BGP router-id"
+        )
+    config.bgp.router_id = Ipv4Address(config.bgp.router_id.value - 1)
 
 
-def _drop_hub_neighbor(config: RouterConfig) -> None:
-    if config.bgp is not None:
-        config.bgp.remove_neighbor("1.0.0.1")
+def _drop_internal_neighbor(targets: Dict[str, str]):
+    def transform(config: RouterConfig) -> None:
+        ip = targets.get(config.hostname)
+        if ip is None:
+            raise FaultTargetError(
+                f"missing_neighbor: {config.hostname} has no internal BGP "
+                f"neighbor to drop"
+            )
+        if config.bgp is None or config.bgp.get_neighbor(ip) is None:
+            raise FaultTargetError(
+                f"missing_neighbor: {config.hostname} does not declare "
+                f"neighbor {ip}"
+            )
+        config.bgp.remove_neighbor(ip)
+
+    return transform
 
 
-def _drop_link_network(config: RouterConfig) -> None:
-    if config.bgp is not None:
-        target = Prefix.parse("1.0.0.0/24")
+def _drop_link_network(targets: Dict[str, Prefix]):
+    def transform(config: RouterConfig) -> None:
+        target = targets.get(config.hostname)
+        if target is None:
+            raise FaultTargetError(
+                f"missing_network: {config.hostname} announces no link "
+                f"subnet to drop"
+            )
+        if config.bgp is None or target not in config.bgp.networks:
+            raise FaultTargetError(
+                f"missing_network: {config.hostname} does not announce "
+                f"{target}"
+            )
         config.bgp.networks = [
             prefix for prefix in config.bgp.networks if prefix != target
         ]
 
+    return transform
+
 
 def _make_extra_network(router_count: int):
     def transform(config: RouterConfig) -> None:
-        if config.bgp is not None:
-            config.bgp.announce(Prefix.parse(f"{router_count}.0.0.0/24"))
+        if config.bgp is None:
+            raise FaultTargetError(
+                f"extra_network: {config.hostname} has no BGP process"
+            )
+        config.bgp.announce(Prefix.parse(f"{router_count}.0.0.0/24"))
 
     return transform
 
 
 def _make_extra_neighbor(router_count: int):
     def transform(config: RouterConfig) -> None:
-        if config.bgp is not None:
-            config.bgp.add_neighbor(
-                BgpNeighbor(
-                    ip=Ipv4Address.parse(f"{router_count}.0.0.2"),
-                    remote_as=router_count,
-                )
+        if config.bgp is None:
+            raise FaultTargetError(
+                f"extra_neighbor: {config.hostname} has no BGP process"
             )
+        config.bgp.add_neighbor(
+            BgpNeighbor(
+                ip=Ipv4Address.parse(f"{router_count}.0.0.2"),
+                remote_as=router_count,
+            )
+        )
 
     return transform
 
@@ -426,9 +604,7 @@ def _merge_deny_clauses(map_name: str):
     §4.2's exact mistake, quoted route-map and all."""
 
     def transform(config: RouterConfig) -> None:
-        route_map = config.route_maps.get(map_name)
-        if route_map is None:
-            return
+        route_map = _require_map(config, map_name, "and_or_semantics")
         deny_matches = []
         permit_clauses = []
         for clause in route_map.clauses:
@@ -437,7 +613,10 @@ def _merge_deny_clauses(map_name: str):
             else:
                 permit_clauses.append(clause)
         if not deny_matches:
-            return
+            raise FaultTargetError(
+                f"and_or_semantics: {map_name} on {config.hostname} has no "
+                f"deny stanzas to merge"
+            )
         merged = RouteMapClause(seq=10, action=Action.DENY, matches=deny_matches)
         for index, clause in enumerate(permit_clauses):
             clause.seq = 20 + 10 * index
@@ -448,22 +627,27 @@ def _merge_deny_clauses(map_name: str):
 
 def _drop_first_deny(map_name: str):
     def transform(config: RouterConfig) -> None:
-        route_map = config.route_maps.get(map_name)
-        if route_map is None:
-            return
+        route_map = _require_map(config, map_name, "egress_permits_tagged")
         for clause in list(route_map.clauses):
             if clause.action is Action.DENY:
                 route_map.clauses.remove(clause)
                 return
+        raise FaultTargetError(
+            f"egress_permits_tagged: {map_name} on {config.hostname} has "
+            f"no deny clause to drop"
+        )
 
     return transform
 
 
 def _drop_ingress_sets(map_name: str):
     def transform(config: RouterConfig) -> None:
-        route_map = config.route_maps.get(map_name)
-        if route_map is None:
-            return
+        route_map = _require_map(config, map_name, "missing_ingress_tag")
+        if not any(clause.sets for clause in route_map.clauses):
+            raise FaultTargetError(
+                f"missing_ingress_tag: {map_name} on {config.hostname} "
+                f"sets nothing to drop"
+            )
         for clause in route_map.clauses:
             clause.sets = []
 
@@ -472,9 +656,16 @@ def _drop_ingress_sets(map_name: str):
 
 def _make_non_additive(map_name: str):
     def transform(config: RouterConfig) -> None:
-        route_map = config.route_maps.get(map_name)
-        if route_map is None:
-            return
+        route_map = _require_map(config, map_name, "non_additive_set_community")
+        if not any(
+            isinstance(action, SetCommunity)
+            for clause in route_map.clauses
+            for action in clause.sets
+        ):
+            raise FaultTargetError(
+                f"non_additive_set_community: {map_name} on "
+                f"{config.hostname} sets no community"
+            )
         for clause in route_map.clauses:
             clause.sets = [
                 SetCommunity(action.communities, additive=False)

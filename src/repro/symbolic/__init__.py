@@ -10,24 +10,40 @@ distinguish.
 
 from .candidates import (
     CandidateUniverse,
+    canonical_route_map_key,
     mentioned_communities,
     mentioned_prefix_ranges,
     mentioned_protocols,
 )
 from .constraints import RouteConstraint
 from .diff import BehaviorDifference, DifferenceKind, compare_policies
+from .memo import (
+    MemoCache,
+    cache_stats,
+    cache_totals,
+    memoization_enabled,
+    reset_caches,
+    set_memoization,
+)
 from .search import PolicySearchResult, policy_always, search_route_policies
 
 __all__ = [
     "BehaviorDifference",
     "CandidateUniverse",
     "DifferenceKind",
+    "MemoCache",
     "PolicySearchResult",
     "RouteConstraint",
+    "cache_stats",
+    "cache_totals",
+    "canonical_route_map_key",
     "compare_policies",
+    "memoization_enabled",
     "mentioned_communities",
     "mentioned_prefix_ranges",
     "mentioned_protocols",
     "policy_always",
+    "reset_caches",
     "search_route_policies",
+    "set_memoization",
 ]

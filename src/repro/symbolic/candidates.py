@@ -31,6 +31,7 @@ from ..netmodel.ip import Prefix, PrefixRange
 from ..netmodel.route import Protocol, Route
 from ..netmodel.routing_policy import (
     MatchAcl,
+    MatchAsPathList,
     MatchCommunityInline,
     MatchCommunityList,
     MatchPrefixList,
@@ -40,9 +41,11 @@ from ..netmodel.routing_policy import (
     SetCommunity,
 )
 from .constraints import RouteConstraint
+from .memo import MemoCache
 
 __all__ = [
     "CandidateUniverse",
+    "canonical_route_map_key",
     "mentioned_communities",
     "mentioned_prefix_ranges",
     "mentioned_protocols",
@@ -53,6 +56,71 @@ __all__ = [
 _CANONICAL_OUTSIDE = Prefix.parse("203.0.113.0/24")
 
 MAX_COMMUNITY_SUBSET = 2
+
+# (canonical route-map key) -> the (ranges, communities, protocols)
+# structure extracted from that policy.  Two policies with the same
+# canonicalized structure share one extraction.
+_POLICY_CACHE = MemoCache("universe-policy")
+
+# (universe fingerprint, constraint) -> materialized candidate routes.
+_ROUTES_CACHE = MemoCache("universe-routes")
+
+
+def canonical_route_map_key(
+    config: RouterConfig, route_map: RouteMap
+) -> "tuple | None":
+    """A hashable key capturing everything policy evaluation can see.
+
+    Each clause is serialized in evaluation order with its match
+    conditions *resolved through the config* (a ``match ip address
+    prefix-list PL`` contributes PL's entries, not just its name), so
+    two (config, route_map) pairs with equal keys evaluate identically
+    on every route.  Returns ``None`` — "don't memoize" — when the map
+    contains a condition this canonicalizer does not understand.
+    """
+    clauses = []
+    for clause in route_map.clauses:
+        matches = []
+        for condition in clause.matches:
+            part = _canonical_match(config, condition)
+            if part is None:
+                return None
+            matches.append(part)
+        clauses.append(
+            (clause.seq, clause.action, tuple(matches), tuple(clause.sets))
+        )
+    return (route_map.name, tuple(clauses))
+
+
+def _canonical_match(config: RouterConfig, condition) -> "tuple | None":
+    """One resolved match condition, or None if unrecognized."""
+    if isinstance(condition, MatchPrefixList):
+        prefix_list = config.get_prefix_list(condition.name)
+        entries = tuple(prefix_list.entries) if prefix_list is not None else None
+        return ("prefix-list", condition.name, entries)
+    if isinstance(condition, MatchAcl):
+        access_list = config.get_access_list(condition.name)
+        entries = tuple(access_list.entries) if access_list is not None else None
+        return ("acl", condition.name, entries)
+    if isinstance(condition, MatchPrefixRanges):
+        return ("ranges", condition.ranges)
+    if isinstance(condition, MatchCommunityList):
+        community_list = config.get_community_list(condition.name)
+        entries = (
+            tuple(community_list.entries) if community_list is not None else None
+        )
+        return ("community-list", condition.name, entries)
+    if isinstance(condition, MatchCommunityInline):
+        return ("community-inline", condition.community)
+    if isinstance(condition, MatchAsPathList):
+        as_path_list = config.get_as_path_list(condition.name)
+        entries = (
+            tuple(as_path_list.entries) if as_path_list is not None else None
+        )
+        return ("as-path", condition.name, entries)
+    if isinstance(condition, MatchProtocol):
+        return ("protocol", condition.protocol)
+    return None
 
 
 def mentioned_prefix_ranges(
@@ -117,6 +185,49 @@ class CandidateUniverse:
         self._ranges: List[PrefixRange] = []
         self._communities: List[Community] = []
         self._protocols: List[Protocol] = []
+
+    @classmethod
+    def for_policy(
+        cls, config: RouterConfig, route_map: RouteMap
+    ) -> "CandidateUniverse":
+        """A universe seeded from one policy, memoized per canonicalized
+        route-map structure.
+
+        Repeated route-map shapes — the common case across a campaign
+        grid's seeds, profiles, and correction rounds — reuse one
+        extraction instead of re-walking the clauses.  The returned
+        universe is a fresh object; callers may keep calling
+        :meth:`add_constraint` / :meth:`add_prefix` on it.
+        """
+        key = canonical_route_map_key(config, route_map)
+        if key is None:
+            universe = cls()
+            universe.add_policy(config, route_map)
+            return universe
+        hit, structure = _POLICY_CACHE.lookup(key)
+        if not hit:
+            universe = cls()
+            universe.add_policy(config, route_map)
+            structure = (
+                tuple(universe._ranges),
+                tuple(universe._communities),
+                tuple(universe._protocols),
+            )
+            _POLICY_CACHE.store(key, structure)
+        universe = cls()
+        universe._ranges = list(structure[0])
+        universe._communities = list(structure[1])
+        universe._protocols = list(structure[2])
+        return universe
+
+    def fingerprint(self) -> tuple:
+        """A hashable identity for the accumulated structure (the grid
+        is a pure function of it, order included)."""
+        return (
+            tuple(self._ranges),
+            tuple(self._communities),
+            tuple(self._protocols),
+        )
 
     def add_policy(self, config: RouterConfig, route_map: RouteMap) -> None:
         self._ranges = _dedupe(
@@ -190,6 +301,23 @@ class CandidateUniverse:
                     )
                     if constraint is None or constraint.admits(route):
                         yield route
+
+    def cached_routes(
+        self, constraint: "RouteConstraint | None" = None
+    ) -> "Tuple[Route, ...]":
+        """The grid as a shared, memoized tuple.
+
+        Routes are immutable, so one materialization is safely shared by
+        every caller whose universe has the same fingerprint — the hot
+        path of :mod:`repro.lightyear.verifier`, where each invariant
+        check walks the full grid.
+        """
+        key = (self.fingerprint(), constraint)
+        hit, routes = _ROUTES_CACHE.lookup(key)
+        if not hit:
+            routes = tuple(self.routes(constraint))
+            _ROUTES_CACHE.store(key, routes)
+        return routes
 
     def size_estimate(self) -> int:
         """Grid cardinality before constraint filtering."""

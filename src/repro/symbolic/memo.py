@@ -1,0 +1,118 @@
+"""Process-local memo caches for the symbolic analysis hot path.
+
+Large campaign grids re-verify the same route-map *shapes* thousands of
+times: every scenario of a family × size cell builds the same reference
+policies, and within one scenario the synthesis loop re-checks every
+router's invariants after each correction round even though most drafts
+did not change.  The caches here let those repeated questions hit a
+dictionary instead of re-enumerating a candidate-route universe.
+
+Each cache is a :class:`MemoCache`: a FIFO-bounded mapping with hit/miss
+accounting, registered in a module-level registry so campaign tooling
+can report an aggregate hit rate (``cache_totals``) and tests can reset
+everything (``reset_caches``) or compare memoized against unmemoized
+runs (``set_memoization``).
+
+Caches are process-local by design: campaign worker processes each grow
+their own, which keeps the engine fork-safe with zero coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+__all__ = [
+    "MemoCache",
+    "cache_stats",
+    "cache_totals",
+    "memoization_enabled",
+    "reset_caches",
+    "set_memoization",
+]
+
+_MISS = object()
+
+_REGISTRY: List["MemoCache"] = []
+
+_ENABLED = True
+
+
+class MemoCache:
+    """A FIFO-bounded dict with hit/miss counters.
+
+    ``lookup`` returns ``(hit, value)``; ``store`` inserts, evicting the
+    oldest entry past ``max_entries``.  Honors the module-wide
+    memoization switch: when disabled, every lookup misses and stores
+    are dropped, so memoized and unmemoized code paths can be compared
+    without touching call sites.
+    """
+
+    def __init__(self, name: str, max_entries: int = 4096) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[Hashable, Any] = {}
+        _REGISTRY.append(self)
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Any]:
+        if not _ENABLED:
+            self.misses += 1
+            return False, None
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        if not _ENABLED:
+            return
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def set_memoization(enabled: bool) -> None:
+    """Globally enable/disable every registered cache (for benchmarks
+    and memoized-vs-unmemoized regression tests)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def memoization_enabled() -> bool:
+    return _ENABLED
+
+
+def reset_caches() -> None:
+    """Drop every entry and zero every counter."""
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-cache ``{name: {hits, misses, entries}}``."""
+    return {
+        cache.name: {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "entries": len(cache),
+        }
+        for cache in _REGISTRY
+    }
+
+
+def cache_totals() -> Tuple[int, int]:
+    """Aggregate ``(hits, misses)`` across every registered cache."""
+    hits = sum(cache.hits for cache in _REGISTRY)
+    misses = sum(cache.misses for cache in _REGISTRY)
+    return hits, misses

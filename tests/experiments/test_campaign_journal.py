@@ -1,0 +1,253 @@
+"""Streaming journal + resume: interrupted grids converge byte-for-byte.
+
+The engine's core guarantee: a campaign interrupted mid-grid and
+resumed from its journal produces final JSON/CSV summaries
+byte-identical to an uninterrupted run, at any worker count.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.campaign import (
+    CompletedScenario,
+    build_grid,
+    execute_scenario,
+    fold_journal,
+    run_campaign,
+    Scenario,
+)
+
+GRID_ARGS = dict(families=["chain", "star"], sizes=[4], seeds=2)
+
+
+def _grid():
+    return build_grid(**GRID_ARGS)
+
+
+def _artifacts(summary, tmp_path, stem):
+    json_path = summary.write_json(tmp_path / f"{stem}.json")
+    csv_path = summary.write_csv(tmp_path / f"{stem}.csv")
+    return json_path.read_bytes(), csv_path.read_bytes()
+
+
+class TestJournal:
+    def test_journal_streams_one_line_per_scenario(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        summary = run_campaign(_grid(), workers=1, journal_path=journal)
+        lines = journal.read_text().splitlines()
+        assert len(lines) == len(_grid()) + 1  # header + one per scenario
+        header = json.loads(lines[0])
+        assert header["kind"] == "campaign"
+        assert header["scenarios"] == len(_grid())
+        assert not summary.incomplete
+
+    def test_fold_reconstructs_rows(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        summary = run_campaign(_grid(), workers=1, journal_path=journal)
+        folded = fold_journal(journal)
+        assert set(folded) == {scenario.key() for scenario in _grid()}
+        assert [folded[s.key()].row for s in _grid()] == summary.rows
+
+    def test_fold_tolerates_truncated_and_garbage_lines(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal)
+        with journal.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"kind": "result", "key": "chain:4:0:d')  # truncated
+        folded = fold_journal(journal)
+        assert set(folded) == {scenario.key() for scenario in _grid()}
+
+    def test_fold_missing_file_is_empty(self, tmp_path):
+        assert fold_journal(tmp_path / "nope.jsonl") == {}
+
+    def test_fold_tolerates_non_numeric_cache_fields(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal)
+        lines = journal.read_text().splitlines()
+        record = json.loads(lines[-1])
+        record["cache_hits"] = None
+        record["cache_misses"] = "garbage"
+        with journal.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        folded = fold_journal(journal)
+        # null coerces to 0; the unparseable record is skipped, keeping
+        # the earlier good record for that key.
+        assert folded[record["key"]].row.family == record["row"]["family"]
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="journal_path"):
+            run_campaign(_grid(), resume=True)
+
+    def test_fresh_run_refuses_to_truncate_populated_journal(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal, limit=2)
+        with pytest.raises(ValueError, match="already holds results"):
+            run_campaign(_grid(), workers=1, journal_path=journal)
+        # Still resumable afterwards — nothing was truncated.
+        summary = run_campaign(
+            _grid(), workers=1, journal_path=journal, resume=True
+        )
+        assert not summary.incomplete
+
+    def test_fresh_run_overwrites_journal_of_a_different_grid(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        other = build_grid(["mesh"], [4], seeds=1)
+        run_campaign(other, workers=1, journal_path=journal)
+        summary = run_campaign(_grid(), workers=1, journal_path=journal)
+        assert not summary.incomplete
+        assert set(fold_journal(journal)) == {
+            scenario.key() for scenario in _grid()
+        }
+
+    def test_limit_stops_midway_and_reports_incomplete(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        summary = run_campaign(
+            _grid(), workers=1, journal_path=journal, limit=2
+        )
+        assert len(summary.rows) == 2
+        assert summary.incomplete
+        assert summary.total == len(_grid())
+
+
+class TestResumeDeterminism:
+    @pytest.fixture(scope="class")
+    def baseline(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("baseline")
+        summary = run_campaign(
+            _grid(), workers=1, journal_path=tmp_path / "full.jsonl"
+        )
+        return _artifacts(summary, tmp_path, "full")
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_kill_and_resume_matches_uninterrupted(
+        self, baseline, tmp_path, workers
+    ):
+        journal = tmp_path / "partial.jsonl"
+        partial = run_campaign(
+            _grid(), workers=workers, journal_path=journal, limit=2
+        )
+        assert partial.incomplete
+        resumed = run_campaign(
+            _grid(), workers=workers, journal_path=journal, resume=True
+        )
+        assert not resumed.incomplete
+        assert resumed.resumed == 2
+        assert _artifacts(resumed, tmp_path, "resumed") == baseline
+
+    def test_worker_count_does_not_change_artifacts(self, baseline, tmp_path):
+        summary = run_campaign(
+            _grid(), workers=4, journal_path=tmp_path / "par.jsonl"
+        )
+        assert _artifacts(summary, tmp_path, "par") == baseline
+
+    def test_resume_of_complete_journal_reruns_nothing(
+        self, baseline, tmp_path
+    ):
+        journal = tmp_path / "full.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal)
+        before = journal.read_text()
+        resumed = run_campaign(
+            _grid(), workers=1, journal_path=journal, resume=True
+        )
+        assert journal.read_text() == before  # nothing re-executed
+        assert resumed.resumed == len(_grid())
+        assert _artifacts(resumed, tmp_path, "noop") == baseline
+
+    def test_journalless_run_matches_journaled(self, baseline, tmp_path):
+        summary = run_campaign(_grid(), workers=1)
+        assert _artifacts(summary, tmp_path, "memonly") == baseline
+
+
+class TestKillProcessAndResume:
+    """A real mid-campaign SIGKILL: the journal survives, resume finishes.
+
+    Timing-independent by construction — wherever the kill lands (before,
+    during, or after the grid) the resumed artifacts must equal an
+    uninterrupted run's.
+    """
+
+    ARGS = [
+        "--families", "chain,star", "--sizes", "4,5", "--seeds", "2",
+        "--workers", "1",
+    ]
+
+    @staticmethod
+    def _cli(*extra):
+        return [sys.executable, "-m", "repro", "campaign",
+                *TestKillProcessAndResume.ARGS, *extra]
+
+    @staticmethod
+    def _env():
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        return env
+
+    def test_sigkill_then_resume(self, tmp_path):
+        journal = tmp_path / "kill.jsonl"
+        process = subprocess.Popen(
+            self._cli(
+                "--journal", str(journal),
+                "--json", str(tmp_path / "ignored.json"),
+            ),
+            cwd=tmp_path,
+            env=self._env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        time.sleep(0.7)
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+        process.wait()
+
+        resume = subprocess.run(
+            self._cli(
+                "--resume", str(journal),
+                "--json", str(tmp_path / "resumed.json"),
+            ),
+            cwd=tmp_path,
+            env=self._env(),
+            capture_output=True,
+            text=True,
+        )
+        assert resume.returncode == 0, resume.stderr
+
+        clean = subprocess.run(
+            self._cli(
+                "--journal", str(tmp_path / "clean.jsonl"),
+                "--json", str(tmp_path / "clean.json"),
+            ),
+            cwd=tmp_path,
+            env=self._env(),
+            capture_output=True,
+            text=True,
+        )
+        assert clean.returncode == 0, clean.stderr
+        assert (tmp_path / "resumed.json").read_bytes() == (
+            tmp_path / "clean.json"
+        ).read_bytes()
+
+
+class TestExecuteScenario:
+    def test_records_key_and_cache_traffic(self):
+        scenario = Scenario(family="ring", size=4, seed=0)
+        record = execute_scenario(scenario)
+        assert isinstance(record, CompletedScenario)
+        assert record.key == scenario.key()
+        assert record.row.verified
+        assert record.cache_hits >= 0 and record.cache_misses >= 0
+
+    def test_summary_aggregates_cache_traffic(self, tmp_path):
+        summary = run_campaign(_grid(), workers=1)
+        assert summary.cache_hits + summary.cache_misses > 0
+        assert summary.cache_hit_rate is not None
+        assert 0.0 <= summary.cache_hit_rate <= 1.0

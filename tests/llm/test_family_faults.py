@@ -1,0 +1,113 @@
+"""Every fault must actually manifest on every topology family.
+
+Fault transforms address concrete artifacts (a neighbor IP, a route-map
+name, an interface).  Historically those addresses were star literals,
+so injecting e.g. ``missing_neighbor`` into a chain draft silently
+no-opped and every downstream check passed vacuously.  These tests pin
+the family-dispatched addressing: for each (family, fault) pair the
+fault either visibly corrupts its designated router's draft, or raises
+:class:`FaultTargetError` — it never disappears.
+"""
+
+import pytest
+
+from repro.cisco import generate_cisco
+from repro.llm import fault_designations, synthesis_fault_catalog
+from repro.llm.faults import DraftState, FaultTargetError
+from repro.topology.families import generate_network
+from repro.topology.reference import build_reference_configs
+
+FAMILIES = ["star", "chain", "ring", "mesh", "dumbbell"]
+SIZE = 7  # large enough that every fault key has a designated carrier
+
+FAULT_KEYS = [
+    "cli_keywords",
+    "stray_ip_routing",
+    "inline_match_community",
+    "misplaced_neighbor_command",
+    "wrong_interface_ip",
+    "wrong_local_as",
+    "wrong_router_id",
+    "missing_neighbor",
+    "missing_network",
+    "extra_network",
+    "extra_neighbor",
+    "and_or_semantics",
+    "egress_permits_tagged",
+    "missing_ingress_tag",
+    "non_additive_set_community",
+]
+
+
+@pytest.fixture(scope="module", params=FAMILIES)
+def family_setup(request):
+    network = generate_network(request.param, SIZE)
+    topology = network.topology
+    return (
+        request.param,
+        topology,
+        synthesis_fault_catalog(topology),
+        fault_designations(topology),
+        build_reference_configs(topology),
+    )
+
+
+def test_catalog_is_complete(family_setup):
+    _, _, catalog, _, _ = family_setup
+    assert sorted(catalog) == sorted(FAULT_KEYS)
+
+
+def test_every_fault_has_a_designated_carrier(family_setup):
+    family, _, _, designations, _ = family_setup
+    missing = set(FAULT_KEYS) - set(designations)
+    assert not missing, f"{family}: no carrier for {sorted(missing)}"
+
+
+@pytest.mark.parametrize("key", FAULT_KEYS)
+def test_fault_manifests_on_designated_router(family_setup, key):
+    family, _, catalog, designations, references = family_setup
+    router = designations[key]
+    clean = DraftState(references[router], generate_cisco).render()
+    draft = DraftState(references[router], generate_cisco)
+    draft.inject(catalog[key])
+    corrupted = draft.render()
+    assert corrupted != clean, (
+        f"{key} silently no-ops on {family} router {router}"
+    )
+
+
+@pytest.mark.parametrize(
+    "key",
+    [
+        "missing_neighbor",
+        "missing_network",
+        "wrong_interface_ip",
+        "and_or_semantics",
+        "missing_ingress_tag",
+    ],
+)
+def test_misassigned_fault_raises_instead_of_noop(family_setup, key):
+    """Injected into a router that lacks the target, the transform must
+    raise — the customer-attached R1 (or for R1's own faults, the last
+    router) has none of these artifacts' policy targets."""
+    family, topology, catalog, designations, references = family_setup
+    designated = designations[key]
+    # Pick some router that is not the designated carrier.
+    victim = next(
+        name
+        for name in reversed(topology.router_names())
+        if name != designated
+    )
+    draft = DraftState(references[victim], generate_cisco)
+    draft.inject(catalog[key])
+    try:
+        corrupted = draft.render()
+    except FaultTargetError:
+        return  # the documented loud failure
+    # A few faults are legitimately addressable on other routers
+    # (e.g. every router has an internal neighbor to drop) — then the
+    # draft must actually differ.
+    clean = DraftState(references[victim], generate_cisco).render()
+    assert corrupted != clean, (
+        f"{key} neither raised nor manifested on {family} router {victim}"
+    )
