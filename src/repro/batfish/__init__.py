@@ -2,7 +2,17 @@
 questions, and BGP control-plane simulation behind a pybatfish-like API.
 """
 
-from .bgpsim import BgpSession, BgpSimulation, RibEntry
+from .bgpsim import (
+    BgpSession,
+    BgpSimulation,
+    ResimStats,
+    RibEntry,
+    SimulationState,
+    incremental_simulation_enabled,
+    reset_sim_stats,
+    set_incremental_simulation,
+    sim_totals,
+)
 from .session import BfSessionError, BgpSessionRow, Session
 from .snapshot import Snapshot, detect_vendor
 
@@ -11,8 +21,14 @@ __all__ = [
     "BgpSession",
     "BgpSessionRow",
     "BgpSimulation",
+    "ResimStats",
     "RibEntry",
     "Session",
+    "SimulationState",
     "Snapshot",
     "detect_vendor",
+    "incremental_simulation_enabled",
+    "reset_sim_stats",
+    "set_incremental_simulation",
+    "sim_totals",
 ]

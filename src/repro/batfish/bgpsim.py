@@ -19,10 +19,29 @@ Communities always propagate (Junos default); the experiments' policies
 tag and filter within a single router, so Cisco's ``send-community``
 subtlety does not change any experiment outcome — the flag is still
 parsed and carried in the IR for completeness.
+
+Incremental re-simulation
+-------------------------
+
+Campaign grids and synthesis rounds re-converge the same network over
+and over with only a handful of routers changed between runs.
+:class:`SimulationState` keeps a warm, converged simulation and, given
+the set of changed routers, re-converges only the affected dependency
+cone: every RIB entry records the routers its route traversed
+(``RibEntry.path``), so entries whose provenance avoids the changed set
+survive verbatim, while the rest are invalidated and refilled by a
+prefix-filtered worklist that advertises only along dirty BGP sessions.
+A converged incremental state is always identical to a from-scratch
+run (the differential property tests assert this per topology family);
+if the worklist ever exceeds the full simulator's iteration budget the
+state falls back to a full convergence, so incrementality can change
+performance but never verdicts.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -32,7 +51,18 @@ from ..netmodel.route import Protocol, Route
 from ..netmodel.routing_policy import Action, PolicyEvaluationError
 from ..netmodel.aspath import AsPath
 
-__all__ = ["BgpSession", "BgpSimulation", "RibEntry"]
+__all__ = [
+    "BgpSession",
+    "BgpSimulation",
+    "ResimStats",
+    "RibEntry",
+    "SimulationState",
+    "incremental_simulation_enabled",
+    "reset_sim_stats",
+    "rib_snapshots",
+    "set_incremental_simulation",
+    "sim_totals",
+]
 
 MAX_ITERATIONS = 64
 
@@ -57,11 +87,20 @@ class BgpSession:
 
 @dataclass(frozen=True)
 class RibEntry:
-    """A route installed in a router's BGP RIB, with provenance."""
+    """A route installed in a router's BGP RIB, with provenance.
+
+    ``path`` lists every router the route traversed before reaching the
+    holder, origin first (empty for locally originated routes).  The
+    incremental engine invalidates exactly the entries whose path
+    crosses a changed router: everything about such an entry — the
+    export maps applied, the prepends, the tags — was computed from a
+    configuration that no longer exists.
+    """
 
     route: Route
     learned_from: Optional[str]  # hostname, or None for locally originated
     origin_router: str  # hostname of the originator
+    path: Tuple[str, ...] = ()  # routers traversed, origin first
 
     @property
     def is_local(self) -> bool:
@@ -81,6 +120,7 @@ class BgpSimulation:
         }
         self._converged = False
         self._iterations = 0
+        self.evaluations = 0  # route-map/install evaluations performed
 
     # -- topology derivation ---------------------------------------------------
 
@@ -190,19 +230,93 @@ class BgpSimulation:
         self._converged = True
         return self._iterations
 
-    def _originate(self) -> None:
-        for hostname, config in self._configs.items():
-            if config.bgp is None:
-                continue
-            for prefix in config.bgp.networks:
-                route = Route(prefix=prefix, protocol=Protocol.BGP)
-                self._install(
-                    hostname,
-                    RibEntry(route=route, learned_from=None, origin_router=hostname),
-                )
+    def run_worklist(
+        self,
+        dirty: Set[str],
+        removed: Dict[str, Set[Prefix]],
+    ) -> Optional[int]:
+        """Re-converge from partially seeded RIBs along dirty sessions.
 
-    def _advertise(self, session: BgpSession) -> bool:
-        """Advertise the sender's RIB across one directed session."""
+        ``dirty`` routers were re-originated with empty learned state;
+        ``removed`` maps non-dirty routers to the prefixes whose entries
+        were invalidated.  Propagates prefix-filtered advertisements
+        until quiescent.  Returns the number of directed-session
+        processings, or ``None`` if the worklist exceeded the full
+        simulator's budget (the caller then falls back to a full run).
+        """
+        directed: Dict[Tuple[str, str], BgpSession] = {}
+        out_edges: Dict[str, List[Tuple[str, str]]] = {}
+        in_edges: Dict[str, List[Tuple[str, str]]] = {}
+        for pair in self._sessions:
+            for session in (pair, pair.reversed()):
+                key = (session.local_router, session.remote_router)
+                directed[key] = session
+                out_edges.setdefault(session.local_router, []).append(key)
+                in_edges.setdefault(session.remote_router, []).append(key)
+
+        pending: "OrderedDict[Tuple[str, str], Optional[Set[Prefix]]]" = (
+            OrderedDict()
+        )
+
+        def enqueue(key: Tuple[str, str], prefixes: Optional[Set[Prefix]]) -> None:
+            if key in pending:
+                current = pending[key]
+                if current is not None:
+                    if prefixes is None:
+                        pending[key] = None
+                    else:
+                        current.update(prefixes)
+            else:
+                pending[key] = None if prefixes is None else set(prefixes)
+
+        for router in sorted(dirty):
+            for key in in_edges.get(router, ()):
+                enqueue(key, None)
+            for key in out_edges.get(router, ()):
+                enqueue(key, None)
+        for router in sorted(removed):
+            for key in in_edges.get(router, ()):
+                enqueue(key, set(removed[router]))
+
+        budget = MAX_ITERATIONS * max(1, len(directed))
+        processed = 0
+        while pending:
+            processed += 1
+            if processed > budget:
+                return None  # would not have converged; caller re-runs fully
+            key, prefixes = pending.popitem(last=False)
+            changed = self._advertise(directed[key], prefixes)
+            if changed:
+                for out in out_edges.get(key[1], ()):
+                    enqueue(out, changed)
+        self._converged = True
+        self._iterations = max(self._iterations, 1)
+        return processed
+
+    def _originate(self) -> None:
+        for hostname in self._configs:
+            self._originate_router(hostname)
+
+    def _originate_router(self, hostname: str) -> None:
+        config = self._configs[hostname]
+        if config.bgp is None:
+            return
+        for prefix in config.bgp.networks:
+            route = Route(prefix=prefix, protocol=Protocol.BGP)
+            self._install(
+                hostname,
+                RibEntry(route=route, learned_from=None, origin_router=hostname),
+            )
+
+    def _advertise(
+        self, session: BgpSession, prefixes: Optional[Set[Prefix]] = None
+    ) -> Set[Prefix]:
+        """Advertise the sender's RIB across one directed session.
+
+        With ``prefixes``, only entries for those prefixes are
+        advertised (the incremental engine's targeted refill).  Returns
+        the prefixes whose RIB entry changed at the receiver.
+        """
         sender = session.local_router
         receiver = session.remote_router
         sender_config = self._configs[sender]
@@ -210,10 +324,22 @@ class BgpSimulation:
         assert sender_config.bgp is not None and receiver_config.bgp is not None
         export_map = self._neighbor_policy(sender_config, session.remote_ip, "export")
         import_map = self._neighbor_policy(receiver_config, session.local_ip, "import")
-        changed = False
-        for entry in list(self._ribs[sender].values()):
+        changed: Set[Prefix] = set()
+        if prefixes is None:
+            entries = list(self._ribs[sender].values())
+        else:
+            # Targeted refill: look the prefixes up instead of scanning
+            # the whole RIB (sorted so propagation order is stable).
+            rib = self._ribs[sender]
+            entries = [
+                rib[prefix]
+                for prefix in sorted(prefixes, key=str)
+                if prefix in rib
+            ]
+        for entry in entries:
             if entry.learned_from == receiver:
                 continue  # do not reflect a route back to its source
+            self.evaluations += 1
             advertised = entry.route
             if export_map is not None:
                 try:
@@ -239,9 +365,10 @@ class BgpSimulation:
                 route=advertised,
                 learned_from=sender,
                 origin_router=entry.origin_router,
+                path=entry.path + (sender,),
             )
             if self._install(receiver, candidate):
-                changed = True
+                changed.add(candidate.route.prefix)
         return changed
 
     def _neighbor_policy(
@@ -284,6 +411,21 @@ class BgpSimulation:
         return (candidate.learned_from or "") < (incumbent.learned_from or "")
 
 
+def rib_snapshots(simulation: BgpSimulation) -> Dict[str, Dict[Prefix, Tuple]]:
+    """Comparable per-router RIB snapshots: every route attribute plus
+    the provenance path.  This is the equality contract the
+    differential tests and benches assert between incremental and
+    from-scratch convergence — one definition, shared, so both always
+    check the same notion of "identical"."""
+    return {
+        name: {
+            prefix: (_entry_key(entry), entry.path)
+            for prefix, entry in simulation.rib(name).items()
+        }
+        for name in sorted(simulation._configs)
+    }
+
+
 def _entry_key(entry: RibEntry) -> Tuple:
     route = entry.route
     return (
@@ -296,3 +438,177 @@ def _entry_key(entry: RibEntry) -> Tuple:
         entry.learned_from,
         entry.origin_router,
     )
+
+
+# -- incremental re-simulation -------------------------------------------------
+
+_ENABLED = True
+
+_STATS = {
+    "full_runs": 0,
+    "incremental_runs": 0,
+    "full_evaluations": 0,
+    "incremental_evaluations": 0,
+    "full_time_s": 0.0,
+    "incremental_time_s": 0.0,
+    "reused_entries": 0,
+    "invalidated_entries": 0,
+}
+
+
+def set_incremental_simulation(enabled: bool) -> None:
+    """Globally enable/disable incremental re-convergence.  When off,
+    every :class:`SimulationState` request runs a full simulation, so
+    incremental and full code paths can be compared without touching
+    call sites (mirrors :func:`repro.symbolic.set_memoization`)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def incremental_simulation_enabled() -> bool:
+    return _ENABLED
+
+
+def reset_sim_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0.0 if key.endswith("_time_s") else 0
+
+
+def sim_totals() -> Dict[str, float]:
+    """Process-wide simulation accounting (full vs incremental runs,
+    route evaluations, wall-clock) for campaign reporting."""
+    return dict(_STATS)
+
+
+@dataclass(frozen=True)
+class ResimStats:
+    """What one :meth:`SimulationState.resimulate` call actually did."""
+
+    mode: str  # "full" or "incremental"
+    dirty_routers: int = 0
+    invalidated_entries: int = 0
+    reused_entries: int = 0
+    evaluations: int = 0
+
+    @property
+    def incremental(self) -> bool:
+        return self.mode == "incremental"
+
+
+def _canonical_session(session: BgpSession) -> Tuple:
+    return tuple(
+        sorted(
+            (
+                (session.local_router, str(session.local_ip)),
+                (session.remote_router, str(session.remote_ip)),
+            )
+        )
+    )
+
+
+class SimulationState:
+    """A warm, converged BGP simulation that re-converges incrementally.
+
+    ``converge`` runs a full simulation; ``resimulate`` takes the new
+    configs plus the set of routers whose configuration changed and
+    re-converges only the affected dependency cone.  The state is
+    *reusable* across runs of the same network as long as the caller
+    names every changed router; it *invalidates itself* (falls back to
+    a full run) when there is no prior state, when the changed set is
+    unknown (``None``), when incremental simulation is globally
+    disabled, or when the worklist fails to quiesce within the full
+    simulator's iteration budget.
+    """
+
+    def __init__(self, configs: Optional[Dict[str, RouterConfig]] = None) -> None:
+        self._sim: Optional[BgpSimulation] = None
+        self.last_stats: Optional[ResimStats] = None
+        if configs is not None:
+            self.converge(configs)
+
+    @property
+    def simulation(self) -> BgpSimulation:
+        if self._sim is None:
+            raise ValueError("SimulationState has no converged simulation yet")
+        return self._sim
+
+    @property
+    def configs(self) -> Dict[str, RouterConfig]:
+        return dict(self.simulation._configs)
+
+    def converge(self, configs: Dict[str, RouterConfig]) -> ResimStats:
+        """Full from-scratch convergence; replaces any prior state."""
+        started = time.perf_counter()
+        sim = BgpSimulation(configs)
+        sim.run()
+        self._sim = sim
+        _STATS["full_runs"] += 1
+        _STATS["full_evaluations"] += sim.evaluations
+        _STATS["full_time_s"] += time.perf_counter() - started
+        self.last_stats = ResimStats(mode="full", evaluations=sim.evaluations)
+        return self.last_stats
+
+    def resimulate(
+        self,
+        configs: Dict[str, RouterConfig],
+        changed_routers: Optional[Iterable[str]] = None,
+    ) -> ResimStats:
+        """Re-converge after ``changed_routers``' configs changed.
+
+        Every router whose configuration differs from the previous
+        convergence MUST be named (unchanged routers may be named too —
+        that only costs time).  ``None`` means "unknown" and forces a
+        full run.
+        """
+        if (
+            self._sim is None
+            or changed_routers is None
+            or not incremental_simulation_enabled()
+        ):
+            return self.converge(configs)
+        started = time.perf_counter()
+        old = self._sim
+        new = BgpSimulation(configs)
+        dirty = set(changed_routers)
+        # Routers appearing or disappearing are changed by definition.
+        dirty |= set(old._configs) ^ set(new._configs)
+        # A session that appeared or disappeared dirties both endpoints
+        # (covers address-ownership shifts between other routers).
+        old_sessions = {_canonical_session(s) for s in old._sessions}
+        new_sessions = {_canonical_session(s) for s in new._sessions}
+        for canon in old_sessions ^ new_sessions:
+            dirty.update(router for router, _ip in canon)
+
+        invalidated = 0
+        reused = 0
+        removed: Dict[str, Set[Prefix]] = {}
+        for hostname in new._configs:
+            if hostname in dirty:
+                continue
+            target = new._ribs[hostname]
+            for prefix, entry in old._ribs.get(hostname, {}).items():
+                if dirty.isdisjoint(entry.path):
+                    target[prefix] = entry
+                    reused += 1
+                else:
+                    removed.setdefault(hostname, set()).add(prefix)
+                    invalidated += 1
+        live_dirty = dirty & set(new._configs)
+        for hostname in live_dirty:
+            new._originate_router(hostname)
+        if new.run_worklist(live_dirty, removed) is None:
+            return self.converge(configs)
+        self._sim = new
+        _STATS["incremental_runs"] += 1
+        _STATS["incremental_evaluations"] += new.evaluations
+        _STATS["incremental_time_s"] += time.perf_counter() - started
+        _STATS["reused_entries"] += reused
+        _STATS["invalidated_entries"] += invalidated
+        self.last_stats = ResimStats(
+            mode="incremental",
+            dirty_routers=len(dirty),
+            invalidated_entries=invalidated,
+            reused_entries=reused,
+            evaluations=new.evaluations,
+        )
+        return self.last_stats

@@ -18,7 +18,10 @@ optional ``--csv``.  Results stream to a JSONL journal (``--journal``,
 default ``campaign_journal.jsonl``; ``-`` disables) as each scenario
 completes; ``--resume <journal>`` skips scenarios the journal already
 holds, and ``--limit N`` stops after N scenarios (a deterministic
-interrupt for smoke tests).
+interrupt for smoke tests).  ``--report <journal>`` renders the
+summary (and ``--json``/``--csv`` artifacts) from an existing journal
+without running anything; ``--no-incremental-sim`` disables warm
+incremental BGP re-simulation for A/B comparisons.
 """
 
 from __future__ import annotations
@@ -128,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="run at most N pending scenarios, then stop (for smoke tests)",
+    )
+    campaign.add_argument(
+        "--report",
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "render the summary from an existing journal without "
+            "re-running anything (offline mode)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-incremental-sim",
+        action="store_true",
+        help="disable warm incremental BGP re-simulation (A/B comparisons)",
     )
     campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
@@ -246,8 +263,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .experiments.campaign import build_grid, run_campaign
+    from .batfish.bgpsim import set_incremental_simulation
+    from .experiments.campaign import (
+        build_grid,
+        run_campaign,
+        summary_from_journal,
+    )
 
+    if args.report is not None:
+        # A report renders the journal as-is: every flag that would
+        # select or execute a grid is inert, so reject non-defaults
+        # rather than let them look like they scoped the report.
+        defaults = build_parser().parse_args(["campaign", "--report", "-"])
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--resume", args.resume),
+                ("--journal", args.journal is not None),
+                ("--limit", args.limit is not None),
+                ("--workers", args.workers != defaults.workers),
+                ("--no-incremental-sim", args.no_incremental_sim),
+                ("--iip-ablation", args.iip_ablation),
+                ("--families", args.families != defaults.families),
+                ("--sizes", args.sizes != defaults.sizes),
+                ("--seeds", args.seeds != defaults.seeds),
+                ("--profiles", args.profiles != defaults.profiles),
+            )
+            if given
+        ]
+        if conflicting:
+            print(
+                f"error: --report renders an existing journal and cannot be "
+                f"combined with {', '.join(conflicting)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            summary = summary_from_journal(args.report)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _emit_campaign_summary(args, summary, journal=args.report)
+
+    if args.no_incremental_sim:
+        set_incremental_simulation(False)
     families = [item for item in args.families.split(",") if item]
     profiles = [item for item in args.profiles.split(",") if item]
     try:
@@ -288,6 +347,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return _emit_campaign_summary(args, summary, journal=journal)
+
+
+def _emit_campaign_summary(
+    args: argparse.Namespace, summary, journal: Optional[str]
+) -> int:
     if args.quiet:
         print(
             f"campaign: {len(summary.rows)}/{summary.total} scenarios, "

@@ -34,6 +34,7 @@ from ..juniper import parse_juniper
 from ..lightyear.compose import (
     GlobalCheckResult,
     check_global_no_transit,
+    last_global_sim_stats,
 )
 from ..lightyear.verifier import verify_invariants
 from ..llm.client import LLMClient
@@ -365,10 +366,18 @@ class SynthesisOrchestrator:
             config.hostname: config for config in snapshot.configs.values()
         }
         result = check_global_no_transit(configs, self._topology)
+        sim_stats = last_global_sim_stats()
+        message = result.describe()
+        if sim_stats is not None and sim_stats.incremental:
+            message += (
+                f" (incremental re-simulation: {sim_stats.dirty_routers} "
+                f"changed router(s), {sim_stats.reused_entries} RIB "
+                f"entries reused)"
+            )
         transcript.record(
             "verify",
             "global",
-            result.describe(),
+            message,
         )
         return result
 

@@ -18,8 +18,17 @@ and ``resume=True`` skips scenario keys the journal already holds — an
 interrupted campaign picks up where it left off and produces final
 JSON/CSV summaries byte-identical to an uninterrupted run.  To keep
 that guarantee at any worker count, the written summaries contain only
-deterministic fields; wall-clock timings and cache statistics live in
-the journal and the rendered report.
+deterministic fields; wall-clock timings, cache statistics, and
+BGP-simulation accounting live in the journal and the rendered report.
+
+Each worker process keeps warm per-topology simulation states (see
+:mod:`repro.batfish.bgpsim`), so consecutive scenarios of the same
+family × size re-converge only the routers whose final configs differ
+from the previous scenario's; the engine reports full vs incremental
+convergence counts alongside the symbolic-cache hit rate.
+:func:`summary_from_journal` rebuilds a summary offline from any
+journal (the ``repro campaign --report`` mode) — with a v2 journal the
+artifacts are byte-identical to the live run's.
 """
 
 from __future__ import annotations
@@ -34,9 +43,14 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
+from ..batfish.bgpsim import (
+    incremental_simulation_enabled,
+    set_incremental_simulation,
+    sim_totals,
+)
 from ..core import DEFAULT_IIP_IDS
 from ..llm import BehaviorProfile
-from ..symbolic.memo import cache_totals
+from ..symbolic.memo import cache_totals, memoization_enabled, set_memoization
 from ..topology.families import FAMILIES
 
 __all__ = [
@@ -53,9 +67,10 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "scenario_seed",
+    "summary_from_journal",
 ]
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2  # v2 adds the grid's scenario keys to the header
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -206,27 +221,47 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
 class CompletedScenario:
     """One journal record: a result plus per-scenario cache accounting.
 
-    The cache numbers are operational (they depend on what the worker
-    process happened to have cached already), so they live here and in
-    the journal — never in the deterministic summary outputs.
+    The cache and simulation numbers are operational (they depend on
+    what the worker process happened to have cached or converged
+    already), so they live here and in the journal — never in the
+    deterministic summary outputs.
     """
 
     key: str
     row: ScenarioResult
     cache_hits: int = 0
     cache_misses: int = 0
+    sim_full_runs: int = 0
+    sim_incremental_runs: int = 0
+    sim_full_evals: int = 0
+    sim_incremental_evals: int = 0
 
 
 def execute_scenario(scenario: Scenario) -> CompletedScenario:
-    """Run one scenario and measure its symbolic-cache traffic."""
+    """Run one scenario; measure its symbolic-cache and BGP-simulation
+    traffic (full vs incremental convergences against the worker's warm
+    per-topology simulation states)."""
     hits_before, misses_before = cache_totals()
+    sim_before = sim_totals()
     row = run_scenario(scenario)
     hits_after, misses_after = cache_totals()
+    sim_after = sim_totals()
     return CompletedScenario(
         key=scenario.key(),
         row=row,
         cache_hits=hits_after - hits_before,
         cache_misses=misses_after - misses_before,
+        sim_full_runs=int(sim_after["full_runs"] - sim_before["full_runs"]),
+        sim_incremental_runs=int(
+            sim_after["incremental_runs"] - sim_before["incremental_runs"]
+        ),
+        sim_full_evals=int(
+            sim_after["full_evaluations"] - sim_before["full_evaluations"]
+        ),
+        sim_incremental_evals=int(
+            sim_after["incremental_evaluations"]
+            - sim_before["incremental_evaluations"]
+        ),
     )
 
 
@@ -239,6 +274,10 @@ def _journal_header(grid: Sequence[Scenario]) -> str:
             "kind": "campaign",
             "version": JOURNAL_VERSION,
             "scenarios": len(grid),
+            # The grid's keys, in grid order: lets --report rebuild the
+            # summary with rows ordered exactly as a live run orders
+            # them, no matter the completion order in the journal body.
+            "keys": [scenario.key() for scenario in grid],
         },
         sort_keys=True,
     )
@@ -252,6 +291,10 @@ def _journal_line(completed: CompletedScenario) -> str:
             "row": asdict(completed.row),
             "cache_hits": completed.cache_hits,
             "cache_misses": completed.cache_misses,
+            "sim_full_runs": completed.sim_full_runs,
+            "sim_incremental_runs": completed.sim_incremental_runs,
+            "sim_full_evals": completed.sim_full_evals,
+            "sim_incremental_evals": completed.sim_incremental_evals,
         },
         sort_keys=True,
     )
@@ -306,10 +349,108 @@ def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
                     row=ScenarioResult(**row_fields),
                     cache_hits=int(record.get("cache_hits") or 0),
                     cache_misses=int(record.get("cache_misses") or 0),
+                    sim_full_runs=int(record.get("sim_full_runs") or 0),
+                    sim_incremental_runs=int(
+                        record.get("sim_incremental_runs") or 0
+                    ),
+                    sim_full_evals=int(record.get("sim_full_evals") or 0),
+                    sim_incremental_evals=int(
+                        record.get("sim_incremental_evals") or 0
+                    ),
                 )
             except (TypeError, ValueError):
                 continue
     return completed
+
+
+def _journal_grid_keys(path: "Path | str") -> Optional[List[str]]:
+    """The grid's scenario keys from the journal's *last* header.
+
+    Resuming a journal with a different grid appends a fresh header, so
+    the most recent header describes the grid that owns the journal.
+    Returns ``None`` for legacy (v1) journals whose header has no keys.
+    """
+    target = Path(path)
+    if not target.exists():
+        return None
+    keys: Optional[List[str]] = None
+    with target.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "campaign":
+                continue
+            candidate = record.get("keys")
+            keys = (
+                candidate
+                if isinstance(candidate, list)
+                and all(isinstance(key, str) for key in candidate)
+                else None
+            )
+    return keys
+
+
+def _summarize(
+    ordered: List[CompletedScenario],
+    *,
+    workers: int,
+    duration_s: float,
+    total: int,
+    resumed: int,
+) -> "CampaignSummary":
+    """Build a summary from completed records, folding their per-scenario
+    cache and simulation accounting (shared by live runs and --report)."""
+    return CampaignSummary(
+        rows=[record.row for record in ordered],
+        workers=workers,
+        duration_s=duration_s,
+        total_scenarios=total,
+        resumed=resumed,
+        cache_hits=sum(record.cache_hits for record in ordered),
+        cache_misses=sum(record.cache_misses for record in ordered),
+        sim_full_runs=sum(record.sim_full_runs for record in ordered),
+        sim_incremental_runs=sum(
+            record.sim_incremental_runs for record in ordered
+        ),
+        sim_full_evals=sum(record.sim_full_evals for record in ordered),
+        sim_incremental_evals=sum(
+            record.sim_incremental_evals for record in ordered
+        ),
+    )
+
+
+def summary_from_journal(path: "Path | str") -> "CampaignSummary":
+    """Rebuild a campaign summary from a journal without running anything
+    (the ``repro campaign --report`` offline mode).
+
+    With a v2 journal (header carries the grid's keys) the rows come
+    back in grid order, so the written JSON/CSV summaries are
+    byte-identical to the live run's.  Older journals fall back to
+    completion order.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise ValueError(f"journal {target} does not exist")
+    completed = fold_journal(target)
+    keys = _journal_grid_keys(target)
+    if keys is not None:
+        ordered = [completed[key] for key in keys if key in completed]
+        total = len(keys)
+    else:
+        ordered = list(completed.values())
+        total = len(ordered)
+    return _summarize(
+        ordered,
+        workers=0,  # offline: nothing executed
+        duration_s=0.0,
+        total=total,
+        resumed=len(ordered),
+    )
 
 
 def _fold_for_grid(
@@ -370,6 +511,10 @@ class CampaignSummary:
     resumed: int = 0  # rows recovered from the journal, not re-run
     cache_hits: int = 0
     cache_misses: int = 0
+    sim_full_runs: int = 0
+    sim_incremental_runs: int = 0
+    sim_full_evals: int = 0
+    sim_incremental_evals: int = 0
 
     @property
     def errors(self) -> List[ScenarioResult]:
@@ -387,6 +532,20 @@ class CampaignSummary:
     def cache_hit_rate(self) -> Optional[float]:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else None
+
+    @property
+    def sim_speedup(self) -> Optional[float]:
+        """Estimated incremental-vs-full work ratio: mean route
+        evaluations per full convergence over mean per incremental."""
+        if not self.sim_full_runs or not self.sim_incremental_runs:
+            return None
+        full_mean = self.sim_full_evals / self.sim_full_runs
+        incremental_mean = (
+            self.sim_incremental_evals / self.sim_incremental_runs
+        )
+        if incremental_mean <= 0:
+            return None
+        return full_mean / incremental_mean
 
     def by_family(self) -> List[FamilySummary]:
         grouped: Dict[str, List[ScenarioResult]] = {}
@@ -481,12 +640,33 @@ class CampaignSummary:
                 f"  symbolic cache: {self.cache_hits} hits / "
                 f"{self.cache_misses} misses ({100 * rate:.1f}% hit rate)"
             )
+        if self.sim_full_runs or self.sim_incremental_runs:
+            sim_line = (
+                f"  bgp simulation: {self.sim_full_runs} full / "
+                f"{self.sim_incremental_runs} incremental convergence(s)"
+            )
+            speedup = self.sim_speedup
+            if speedup is not None:
+                sim_line += f" (incremental does ~{speedup:.1f}x less work)"
+            lines.append(sim_line)
         for summary in self.by_family():
             lines.append("  " + summary.render())
         return "\n".join(lines)
 
 
 # -- the engine ----------------------------------------------------------------
+
+
+def _init_worker(memoize: bool, incremental_sim: bool) -> None:
+    """Propagate the parent's optimization toggles into a pool worker.
+
+    Module globals do not survive the spawn/forkserver start methods,
+    so the executor replays them explicitly — `--no-incremental-sim`
+    and `set_memoization(False)` must govern the workers that actually
+    run the scenarios, on every platform.
+    """
+    set_memoization(memoize)
+    set_incremental_simulation(incremental_sim)
 
 
 def run_campaign(
@@ -537,10 +717,14 @@ def run_campaign(
     handle: Optional[TextIO] = None
     if journal is not None:
         appending = resume and journal.exists()
+        stale_header = appending and _journal_grid_keys(journal) != keys
         if appending:
             _repair_trailing_newline(journal)
         handle = journal.open("a" if appending else "w")
-        if not appending:
+        if not appending or stale_header:
+            # Fresh journals get a header; resuming under a *different*
+            # grid appends a new one, so offline --report reconstruction
+            # always orders by the grid that last owned the journal.
             _append(handle, _journal_header(grid))
     try:
         if workers <= 1 or len(pending) <= 1:
@@ -550,7 +734,14 @@ def run_campaign(
                 if handle is not None:
                     _append(handle, _journal_line(record))
         else:
-            with ProcessPoolExecutor(max_workers=workers) as executor:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(
+                    memoization_enabled(),
+                    incremental_simulation_enabled(),
+                ),
+            ) as executor:
                 futures = [
                     executor.submit(execute_scenario, scenario)
                     for scenario in pending
@@ -568,12 +759,10 @@ def run_campaign(
         # The journal, not in-process state, is the source of truth.
         completed = _fold_for_grid(journal, key_set)
     ordered = [completed[key] for key in keys if key in completed]
-    return CampaignSummary(
-        rows=[record.row for record in ordered],
+    return _summarize(
+        ordered,
         workers=max(1, workers),
         duration_s=time.perf_counter() - started,
-        total_scenarios=len(grid),
+        total=len(grid),
         resumed=resumed,
-        cache_hits=sum(record.cache_hits for record in ordered),
-        cache_misses=sum(record.cache_misses for record in ordered),
     )

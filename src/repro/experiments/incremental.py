@@ -25,15 +25,18 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..batfish.bgpsim import ResimStats
 from ..cisco import generate_cisco, parse_cisco
 from ..core.humanizer import Humanizer, finding_from_warning
 from ..core.leverage import PromptKind, PromptLog
 from ..errors import ErrorCategory, Finding
 from ..lightyear import (
     EgressPrependInvariant,
+    IncrementalGlobalChecker,
     no_transit_invariants,
     verify_invariants,
 )
+from ..lightyear.compose import GlobalCheckResult, check_global_no_transit
 from ..llm import BehaviorProfile, SimulatedGPT4
 from ..llm.faults import Fault
 from ..netmodel.ip import Ipv4Address
@@ -115,14 +118,27 @@ class IncrementalResult:
     interference_caught: bool
     prompt_log: PromptLog
     findings: List[Finding] = field(default_factory=list)
+    global_check: Optional[GlobalCheckResult] = None
+    global_sim: Optional[ResimStats] = None
 
     def render(self) -> str:
-        return (
+        text = (
             f"incremental policy addition: interference "
             f"{'caught and repaired' if self.interference_caught else 'NOT caught'}; "
             f"{self.prompt_log.automated} automated prompt(s); "
             f"verified={self.verified}"
         )
+        if self.global_check is not None:
+            text += (
+                f"; global no-transit "
+                f"{'holds' if self.global_check.holds else 'BROKEN'}"
+            )
+            if self.global_sim is not None and self.global_sim.incremental:
+                text += (
+                    f" (re-simulated incrementally: "
+                    f"{self.global_sim.reused_entries} RIB entries reused)"
+                )
+        return text
 
 
 def run_incremental_policy_experiment(
@@ -196,11 +212,25 @@ def run_incremental_policy_experiment(
     surviving_violations = verify_invariants({"R1": config}, old_invariants)
     if not recheck_old_invariants and surviving_violations:
         verified = False  # shipped broken: the point of the control
+    # The global check re-simulates incrementally: the verified star is
+    # converged once, then only the edited hub's dependency cone is
+    # re-converged — exactly the delta the incremental-addition story
+    # is about (one router changed, the rest of the network untouched).
+    checker = IncrementalGlobalChecker()
+    base_configs = build_reference_configs(star.topology)
+    checker.simulate(base_configs)
+    final_configs = dict(base_configs)
+    final_configs["R1"] = config
+    global_check = check_global_no_transit(
+        final_configs, star.topology, checker=checker
+    )
     return IncrementalResult(
         verified=verified and not surviving_violations,
         interference_caught=interference_caught,
         prompt_log=log,
         findings=findings,
+        global_check=global_check,
+        global_sim=checker.last_stats,
     )
 
 

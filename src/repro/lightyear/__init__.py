@@ -4,8 +4,11 @@ and the compositional argument that they imply the global policy."""
 from .compose import (
     CompositionResult,
     GlobalCheckResult,
+    IncrementalGlobalChecker,
     check_composition,
     check_global_no_transit,
+    last_global_sim_stats,
+    reset_simulation_states,
 )
 from .invariants import (
     EgressFilterInvariant,
@@ -20,11 +23,14 @@ __all__ = [
     "EgressFilterInvariant",
     "EgressPrependInvariant",
     "GlobalCheckResult",
+    "IncrementalGlobalChecker",
     "IngressTagInvariant",
     "InvariantViolation",
     "check_composition",
     "check_global_no_transit",
+    "last_global_sim_stats",
     "no_transit_invariants",
+    "reset_simulation_states",
     "verify_invariant",
     "verify_invariants",
 ]

@@ -11,10 +11,17 @@ simulation-based global check.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..batfish.bgpsim import BgpSimulation
+from ..batfish.bgpsim import (
+    BgpSimulation,
+    ResimStats,
+    SimulationState,
+    incremental_simulation_enabled,
+)
 from ..netmodel.device import RouterConfig
 from ..netmodel.ip import Prefix
 from ..netmodel.routing_policy import (
@@ -25,7 +32,15 @@ from ..netmodel.routing_policy import (
 from ..topology.model import Topology
 from .invariants import EgressFilterInvariant, IngressTagInvariant
 
-__all__ = ["CompositionResult", "GlobalCheckResult", "check_composition", "check_global_no_transit"]
+__all__ = [
+    "CompositionResult",
+    "GlobalCheckResult",
+    "IncrementalGlobalChecker",
+    "check_composition",
+    "check_global_no_transit",
+    "last_global_sim_stats",
+    "reset_simulation_states",
+]
 
 
 @dataclass
@@ -131,8 +146,127 @@ class GlobalCheckResult:
         )
 
 
+# -- incremental global simulation ---------------------------------------------
+
+
+def _config_fingerprints(configs: Dict[str, RouterConfig]) -> Dict[str, str]:
+    """Canonical per-router fingerprints (rendered-config digests).
+
+    Rendering round-trips losslessly (the fixed-point tests), so two
+    configs with equal fingerprints are simulation-equivalent.
+    """
+    from ..cisco import generate_cisco
+
+    return {
+        name: hashlib.sha256(generate_cisco(config).encode("utf-8")).hexdigest()
+        for name, config in configs.items()
+    }
+
+
+class IncrementalGlobalChecker:
+    """A warm :class:`SimulationState` plus the config fingerprints it
+    converged, so repeated global checks of the same network simulate
+    only the routers that actually changed since the previous check."""
+
+    def __init__(self) -> None:
+        self._state = SimulationState()
+        self._fingerprints: Dict[str, str] = {}
+
+    @property
+    def last_stats(self) -> Optional[ResimStats]:
+        return self._state.last_stats
+
+    def simulate(
+        self,
+        configs: Dict[str, RouterConfig],
+        changed_routers: "Optional[Set[str]]" = None,
+    ) -> BgpSimulation:
+        """Converge ``configs``, reusing warm state where valid.
+
+        Without an explicit ``changed_routers`` delta, the delta is
+        derived by fingerprinting every config against the previous
+        call's fingerprints.
+        """
+        fingerprints = _config_fingerprints(configs)
+        if changed_routers is None and self._fingerprints:
+            changed_routers = {
+                name
+                for name in set(fingerprints) | set(self._fingerprints)
+                if fingerprints.get(name) != self._fingerprints.get(name)
+            }
+        self._state.resimulate(configs, changed_routers)
+        self._fingerprints = fingerprints
+        return self._state.simulation
+
+
+_CHECKER_LIMIT = 8
+
+# topology key -> warm checker; process-local, like the symbolic memo
+# caches, so campaign workers stay fork-safe with zero coordination.
+_CHECKERS: "OrderedDict[Tuple, IncrementalGlobalChecker]" = OrderedDict()
+
+_LAST_SIM_STATS: Optional[ResimStats] = None
+
+
+def reset_simulation_states() -> None:
+    """Drop every warm simulation state (tests and benchmarks)."""
+    global _LAST_SIM_STATS
+    _CHECKERS.clear()
+    _LAST_SIM_STATS = None
+
+
+def last_global_sim_stats() -> Optional[ResimStats]:
+    """How the most recent :func:`check_global_no_transit` converged."""
+    return _LAST_SIM_STATS
+
+
+def _topology_key(topology: Topology) -> Tuple:
+    return (
+        topology.name,
+        tuple(topology.router_names()),
+        tuple(
+            (link.router_a, link.interface_a, link.router_b, link.interface_b,
+             str(link.subnet))
+            for link in topology.links
+        ),
+        tuple(
+            (peer.router, peer.interface, peer.peer_name, str(peer.peer_ip),
+             peer.peer_asn)
+            for peer in topology.externals
+        ),
+    )
+
+
+def _global_simulation(
+    configs: Dict[str, RouterConfig],
+    topology: Topology,
+    checker: Optional[IncrementalGlobalChecker],
+) -> BgpSimulation:
+    """The converged simulation behind one global check."""
+    global _LAST_SIM_STATS
+    if checker is None:
+        if not incremental_simulation_enabled():
+            state = SimulationState(configs)
+            _LAST_SIM_STATS = state.last_stats
+            return state.simulation
+        key = _topology_key(topology)
+        checker = _CHECKERS.get(key)
+        if checker is None:
+            checker = IncrementalGlobalChecker()
+            _CHECKERS[key] = checker
+            while len(_CHECKERS) > _CHECKER_LIMIT:
+                _CHECKERS.popitem(last=False)
+        else:
+            _CHECKERS.move_to_end(key)
+    simulation = checker.simulate(configs)
+    _LAST_SIM_STATS = checker.last_stats
+    return simulation
+
+
 def check_global_no_transit(
-    configs: Dict[str, RouterConfig], topology: Topology
+    configs: Dict[str, RouterConfig],
+    topology: Topology,
+    checker: Optional[IncrementalGlobalChecker] = None,
 ) -> GlobalCheckResult:
     """Simulate BGP and check the global property directly (§4.1's final
     step), on any topology family.
@@ -143,14 +277,17 @@ def check_global_no_transit(
     use the export-based reading: no router would advertise another
     ISP's prefix to its own ISP, every ISP would receive the customer
     prefix, and the CUSTOMER would receive every ISP prefix.
+
+    The simulation re-converges incrementally where possible: pass a
+    ``checker`` owned by a repeated-simulation loop, or let the
+    process-local registry keep a warm state per topology.
     """
     from ..topology.families import is_hub_star
 
+    simulation = _global_simulation(configs, topology, checker)
     if not is_hub_star(topology):
-        return _check_global_border(configs, topology)
+        return _check_global_border(configs, topology, simulation)
     result = GlobalCheckResult()
-    simulation = BgpSimulation(configs)
-    simulation.run()
     hub = topology.router("R1")
     customer_prefixes = list(hub.networks)
     spoke_names = [name for name in topology.router_names() if name != "R1"]
@@ -218,14 +355,14 @@ def _exported_prefixes(
 
 
 def _check_global_border(
-    configs: Dict[str, RouterConfig], topology: Topology
+    configs: Dict[str, RouterConfig],
+    topology: Topology,
+    simulation: BgpSimulation,
 ) -> GlobalCheckResult:
     """Export-based global check for border-policy families."""
     from ..topology.families import customer_attachment, isp_attachments
 
     result = GlobalCheckResult()
-    simulation = BgpSimulation(configs)
-    simulation.run()
     customer = customer_attachment(topology)
     attachments = isp_attachments(topology)
     isp_prefixes: Dict[str, List[Prefix]] = {}

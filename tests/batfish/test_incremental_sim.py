@@ -1,0 +1,312 @@
+"""Incremental BGP re-simulation: differential proofs against full runs.
+
+The contract under test: a :class:`SimulationState` given the set of
+changed routers converges to *exactly* the state a from-scratch
+:class:`BgpSimulation` reaches on the same configs — same RIBs (routes,
+attributes, provenance paths) and same global-check verdicts — on every
+topology family, for randomized single-router config edits.
+"""
+
+import copy
+import random
+import zlib
+
+import pytest
+
+from repro.batfish.bgpsim import (
+    BgpSimulation,
+    SimulationState,
+    incremental_simulation_enabled,
+    reset_sim_stats,
+    rib_snapshots,
+    set_incremental_simulation,
+    sim_totals,
+)
+from repro.lightyear.compose import (
+    IncrementalGlobalChecker,
+    _config_fingerprints,
+    check_global_no_transit,
+    last_global_sim_stats,
+    reset_simulation_states,
+)
+from repro.netmodel.ip import Prefix
+from repro.netmodel.routing_policy import (
+    Action,
+    RouteMap,
+    RouteMapClause,
+    SetCommunity,
+)
+from repro.topology.families import FAMILIES, generate_network
+from repro.topology.reference import build_reference_configs
+
+SIZE = 6
+
+
+@pytest.fixture(autouse=True)
+def _fresh_simulation_state():
+    reset_simulation_states()
+    set_incremental_simulation(True)
+    yield
+    reset_simulation_states()
+    set_incremental_simulation(True)
+
+
+def _network(family, size=SIZE):
+    net = generate_network(family, size)
+    return net.topology, build_reference_configs(net.topology)
+
+
+def _assert_matches_full(state, configs, topology=None):
+    """The warm state must equal a from-scratch run, RIBs and verdicts."""
+    full = BgpSimulation(copy.deepcopy(configs))
+    full.run()
+    assert rib_snapshots(state.simulation) == rib_snapshots(full)
+    if topology is not None:
+        reset_simulation_states()  # force the check below to run cold
+        cold = check_global_no_transit(copy.deepcopy(configs), topology)
+        warm = _check_from_simulation(state, configs, topology)
+        assert warm.holds == cold.holds
+        assert warm.describe() == cold.describe()
+
+
+def _check_from_simulation(state, configs, topology):
+    """Run the global check against the *warm* state's simulation.
+
+    Seeding the checker with the configs' current fingerprints makes
+    the derived delta empty, so the verdict really is computed from the
+    incrementally-converged RIBs (an empty-fingerprint checker would
+    fall back to a fresh full convergence and prove nothing)."""
+    checker = IncrementalGlobalChecker()
+    checker._state = state
+    checker._fingerprints = _config_fingerprints(configs)
+    verdict = check_global_no_transit(configs, topology, checker=checker)
+    assert checker.last_stats.incremental
+    return verdict
+
+
+# -- randomized single-router edits -------------------------------------------
+
+
+def _replace_filter_with_permit_all(config, rng):
+    names = [n for n in config.route_maps if n.startswith("FILTER_COMM_OUT_")]
+    if not names:
+        return False
+    name = rng.choice(names)
+    replacement = RouteMap(name)
+    replacement.add_clause(RouteMapClause(seq=10, action=Action.PERMIT))
+    config.route_maps[name] = replacement
+    return True
+
+
+def _drop_first_deny(config, rng):
+    names = [n for n in config.route_maps if n.startswith("FILTER_COMM_OUT_")]
+    for name in rng.sample(names, k=len(names)):
+        route_map = config.route_maps[name]
+        denies = [c for c in route_map.clauses if c.action is Action.DENY]
+        if denies:
+            route_map.clauses.remove(denies[0])
+            return True
+    return False
+
+
+def _make_ingress_non_additive(config, rng):
+    names = [n for n in config.route_maps if n.startswith("ADD_COMM_")]
+    for name in rng.sample(names, k=len(names)):
+        for clause in config.route_maps[name].clauses:
+            for index, action in enumerate(clause.sets):
+                if isinstance(action, SetCommunity) and action.additive:
+                    clause.sets[index] = SetCommunity(
+                        action.communities, additive=False
+                    )
+                    return True
+    return False
+
+
+def _detach_export_policy(config, rng):
+    if config.bgp is None:
+        return False
+    attached = [
+        n for n in config.bgp.neighbors.values() if n.export_policy is not None
+    ]
+    if not attached:
+        return False
+    rng.choice(attached).export_policy = None
+    return True
+
+
+def _announce_extra_network(config, rng):
+    if config.bgp is None:
+        return False
+    bogus = Prefix.parse(f"203.0.{rng.randrange(1, 250)}.0/24")
+    if bogus in config.bgp.networks:
+        return False
+    config.bgp.announce(bogus)
+    return True
+
+
+def _drop_a_neighbor(config, rng):
+    """Removes one BGP session entirely (topology-affecting edit)."""
+    if config.bgp is None or len(config.bgp.neighbors) < 2:
+        return False
+    ip = rng.choice(sorted(config.bgp.neighbors, key=str))
+    config.bgp.remove_neighbor(ip)
+    return True
+
+
+MUTATIONS = [
+    _replace_filter_with_permit_all,
+    _drop_first_deny,
+    _make_ingress_non_additive,
+    _detach_export_policy,
+    _announce_extra_network,
+    _drop_a_neighbor,
+]
+
+
+class TestDifferentialPerFamily:
+    """Randomized single-router edits: incremental == full, always."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_edit_sequence_matches_from_scratch(self, family, seed):
+        topology, reference = _network(family)
+        rng = random.Random(zlib.crc32(f"{family}:{seed}".encode()))
+        current = copy.deepcopy(reference)
+        state = SimulationState(copy.deepcopy(current))
+        incremental_seen = 0
+        for _step in range(6):
+            nxt = copy.deepcopy(current)
+            router = rng.choice(sorted(nxt))
+            mutation = rng.choice(MUTATIONS)
+            if not mutation(nxt[router], rng):
+                _announce_extra_network(nxt[router], rng)
+            stats = state.resimulate(copy.deepcopy(nxt), {router})
+            incremental_seen += stats.incremental
+            _assert_matches_full(state, nxt, topology)
+            current = nxt
+        assert incremental_seen == 6  # never silently fell back
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_revert_to_reference_matches(self, family):
+        """Edit a router, then restore it: back to the reference state."""
+        topology, reference = _network(family)
+        rng = random.Random(7)
+        state = SimulationState(copy.deepcopy(reference))
+        broken = copy.deepcopy(reference)
+        router = sorted(broken)[2]
+        _replace_filter_with_permit_all(broken[router], rng) or (
+            _announce_extra_network(broken[router], rng)
+        )
+        state.resimulate(copy.deepcopy(broken), {router})
+        _assert_matches_full(state, broken, topology)
+        restored = copy.deepcopy(reference)
+        stats = state.resimulate(copy.deepcopy(restored), {router})
+        assert stats.incremental
+        _assert_matches_full(state, restored, topology)
+
+
+class TestSimulationState:
+    def test_no_change_resimulation_is_cheap_and_identical(self):
+        _topology, configs = _network("mesh")
+        state = SimulationState(copy.deepcopy(configs))
+        stats = state.resimulate(copy.deepcopy(configs), set())
+        assert stats.incremental
+        assert stats.evaluations == 0
+        assert stats.reused_entries > 0
+        _assert_matches_full(state, configs)
+
+    def test_unknown_delta_forces_full_run(self):
+        _topology, configs = _network("ring")
+        state = SimulationState(copy.deepcopy(configs))
+        stats = state.resimulate(copy.deepcopy(configs), None)
+        assert stats.mode == "full"
+
+    def test_disabled_toggle_forces_full_run(self):
+        _topology, configs = _network("chain")
+        state = SimulationState(copy.deepcopy(configs))
+        set_incremental_simulation(False)
+        try:
+            assert not incremental_simulation_enabled()
+            stats = state.resimulate(copy.deepcopy(configs), set())
+            assert stats.mode == "full"
+        finally:
+            set_incremental_simulation(True)
+
+    def test_router_removal_and_return(self):
+        topology, configs = _network("mesh")
+        state = SimulationState(copy.deepcopy(configs))
+        without = {
+            name: copy.deepcopy(config)
+            for name, config in configs.items()
+            if name != "R4"
+        }
+        stats = state.resimulate(copy.deepcopy(without), set())
+        assert stats.incremental  # removal detected without being named
+        _assert_matches_full(state, without)
+        stats = state.resimulate(copy.deepcopy(configs), set())
+        assert stats.incremental
+        _assert_matches_full(state, configs, topology)
+
+    def test_state_before_convergence_raises(self):
+        with pytest.raises(ValueError, match="no converged simulation"):
+            SimulationState().simulation
+
+    def test_stats_accounting(self):
+        reset_sim_stats()
+        _topology, configs = _network("star")
+        state = SimulationState(copy.deepcopy(configs))
+        state.resimulate(copy.deepcopy(configs), set())
+        totals = sim_totals()
+        assert totals["full_runs"] == 1
+        assert totals["incremental_runs"] == 1
+        assert totals["full_evaluations"] > 0
+
+
+class TestWarmGlobalCheck:
+    """check_global_no_transit reuses warm state per topology."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_repeat_check_goes_incremental_with_same_verdict(self, family):
+        topology, configs = _network(family)
+        first = check_global_no_transit(copy.deepcopy(configs), topology)
+        assert last_global_sim_stats().mode == "full"
+        second = check_global_no_transit(copy.deepcopy(configs), topology)
+        assert last_global_sim_stats().incremental
+        assert last_global_sim_stats().dirty_routers == 0
+        assert second.holds == first.holds
+        assert second.describe() == first.describe()
+
+    def test_changed_router_is_fingerprint_detected(self):
+        topology, configs = _network("mesh")
+        good = check_global_no_transit(copy.deepcopy(configs), topology)
+        assert good.holds
+        rng = random.Random(3)
+        broken = copy.deepcopy(configs)
+        assert _replace_filter_with_permit_all(broken["R3"], rng)
+        verdict = check_global_no_transit(broken, topology)
+        stats = last_global_sim_stats()
+        assert stats.incremental
+        assert stats.dirty_routers == 1
+        assert not verdict.holds
+        reset_simulation_states()
+        cold = check_global_no_transit(copy.deepcopy(broken), topology)
+        assert cold.describe() == verdict.describe()
+
+    def test_disabled_incremental_still_checks_correctly(self):
+        topology, configs = _network("ring")
+        warm = check_global_no_transit(copy.deepcopy(configs), topology)
+        set_incremental_simulation(False)
+        try:
+            cold = check_global_no_transit(copy.deepcopy(configs), topology)
+            assert last_global_sim_stats().mode == "full"
+        finally:
+            set_incremental_simulation(True)
+        assert cold.holds == warm.holds
+
+    def test_explicit_checker_is_reused_across_rounds(self):
+        topology, configs = _network("chain")
+        checker = IncrementalGlobalChecker()
+        check_global_no_transit(copy.deepcopy(configs), topology, checker=checker)
+        assert checker.last_stats.mode == "full"
+        check_global_no_transit(copy.deepcopy(configs), topology, checker=checker)
+        assert checker.last_stats.incremental

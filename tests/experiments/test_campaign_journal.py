@@ -163,6 +163,35 @@ class TestResumeDeterminism:
         summary = run_campaign(_grid(), workers=1)
         assert _artifacts(summary, tmp_path, "memonly") == baseline
 
+    @pytest.mark.parametrize("resume_workers", [1, 4])
+    def test_crash_truncated_final_line_then_resume_other_worker_count(
+        self, baseline, tmp_path, resume_workers
+    ):
+        """A crash mid-write leaves the journal's final line truncated;
+        resuming — with a *different* worker count than wrote it — must
+        re-run the mangled scenario and still match the uninterrupted
+        artifacts byte for byte."""
+        journal = tmp_path / "trunc.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal, limit=3)
+        text = journal.read_text()
+        assert text.endswith("\n")
+        complete_lines = text.splitlines()
+        assert len(complete_lines) == 4  # header + three results
+        # Chop the final record mid-JSON, no trailing newline: exactly
+        # what a SIGKILL between write() and flush boundaries leaves.
+        journal.write_text(text[: -(len(complete_lines[-1]) // 2 + 1)])
+        assert not journal.read_text().endswith("\n")
+        folded = fold_journal(journal)
+        assert len(folded) == 2  # the truncated record does not fold
+        resumed = run_campaign(
+            _grid(), workers=resume_workers, journal_path=journal, resume=True
+        )
+        assert not resumed.incomplete
+        assert resumed.resumed == 2  # the truncated scenario re-ran
+        assert _artifacts(resumed, tmp_path, "trunc") == baseline
+        # The repaired journal is clean: every line folds, latest wins.
+        assert len(fold_journal(journal)) == len(_grid())
+
 
 class TestKillProcessAndResume:
     """A real mid-campaign SIGKILL: the journal survives, resume finishes.

@@ -1,0 +1,197 @@
+"""Offline journal analytics: ``repro campaign --report``.
+
+A report renders a summary from an existing journal without executing
+anything, and — because v2 journal headers carry the grid's keys in
+grid order — its JSON/CSV artifacts are byte-identical to the live
+run's.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.campaign import (
+    build_grid,
+    run_campaign,
+    summary_from_journal,
+)
+
+GRID_ARGS = dict(families=["chain", "star"], sizes=[4], seeds=2)
+
+
+def _grid():
+    return build_grid(**GRID_ARGS)
+
+
+def _artifacts(summary, tmp_path, stem):
+    json_path = summary.write_json(tmp_path / f"{stem}.json")
+    csv_path = summary.write_csv(tmp_path / f"{stem}.csv")
+    return json_path.read_bytes(), csv_path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("live")
+    journal = tmp_path / "live.jsonl"
+    summary = run_campaign(_grid(), workers=1, journal_path=journal)
+    return journal, _artifacts(summary, tmp_path, "live"), summary
+
+
+class TestSummaryFromJournal:
+    def test_round_trips_the_live_summary(self, live, tmp_path):
+        journal, artifacts, summary = live
+        report = summary_from_journal(journal)
+        assert report.rows == summary.rows
+        assert report.total == summary.total
+        assert not report.incomplete
+        assert _artifacts(report, tmp_path, "report") == artifacts
+
+    def test_parallel_journal_reports_in_grid_order(self, live, tmp_path):
+        """Completion order in the journal body must not leak through."""
+        _journal, artifacts, _summary = live
+        journal = tmp_path / "par.jsonl"
+        run_campaign(_grid(), workers=4, journal_path=journal)
+        report = summary_from_journal(journal)
+        assert _artifacts(report, tmp_path, "par_report") == artifacts
+
+    def test_carries_cache_and_sim_accounting(self, live):
+        journal, _artifacts_, summary = live
+        report = summary_from_journal(journal)
+        assert (report.cache_hits, report.cache_misses) == (
+            summary.cache_hits, summary.cache_misses,
+        )
+        assert report.sim_full_runs == summary.sim_full_runs
+        assert report.sim_incremental_runs == summary.sim_incremental_runs
+        assert report.resumed == len(report.rows)
+        assert report.workers == 0  # nothing executed
+
+    def test_partial_journal_reports_incomplete(self, tmp_path):
+        journal = tmp_path / "partial.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal, limit=2)
+        report = summary_from_journal(journal)
+        assert len(report.rows) == 2
+        assert report.total == len(_grid())
+        assert report.incomplete
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            summary_from_journal(tmp_path / "nope.jsonl")
+
+    def test_resume_under_different_grid_reports_the_new_grid(self, tmp_path):
+        """Resuming a journal with a different grid appends a fresh
+        header, so the offline report reflects the grid that now owns
+        the journal instead of silently dropping its rows."""
+        journal = tmp_path / "switch.jsonl"
+        run_campaign(build_grid(["star"], [4], seeds=1), journal_path=journal)
+        live = run_campaign(
+            _grid(), journal_path=journal, resume=True
+        )
+        assert not live.incomplete
+        report = summary_from_journal(journal)
+        assert report.rows == live.rows
+        assert report.total == len(_grid())
+        assert not report.incomplete
+
+    def test_legacy_journal_without_keys_falls_back(self, live, tmp_path):
+        """v1 journals (no header keys) report in completion order."""
+        source, _artifacts_, summary = live
+        legacy = tmp_path / "legacy.jsonl"
+        lines = source.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["keys"]
+        header["version"] = 1
+        legacy.write_text(
+            "\n".join([json.dumps(header, sort_keys=True)] + lines[1:]) + "\n"
+        )
+        report = summary_from_journal(legacy)
+        assert sorted(map(repr, report.rows)) == sorted(map(repr, summary.rows))
+        assert report.total == len(report.rows)
+
+
+class TestReportCli:
+    ARGS = [
+        "campaign", "--families", "chain,star", "--sizes", "4", "--seeds", "2",
+    ]
+
+    def test_report_matches_live_artifacts(self, live, tmp_path, capsys):
+        journal, artifacts, _summary = live
+        out_json = tmp_path / "report.json"
+        out_csv = tmp_path / "report.csv"
+        code = main([
+            "campaign", "--report", str(journal),
+            "--json", str(out_json), "--csv", str(out_csv),
+        ])
+        assert code == 0
+        assert (out_json.read_bytes(), out_csv.read_bytes()) == artifacts
+        output = capsys.readouterr().out
+        assert "campaign:" in output
+        assert "resumed from journal" in output
+
+    def test_report_runs_nothing(self, live, tmp_path, capsys):
+        journal, _artifacts_, _summary = live
+        before = journal.read_text()
+        code = main(["campaign", "--report", str(journal), "--json", "-"])
+        assert code == 0
+        assert journal.read_text() == before
+
+    def test_report_of_partial_journal_hints_resume(self, tmp_path, capsys):
+        journal = tmp_path / "partial.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=journal, limit=1)
+        code = main(["campaign", "--report", str(journal), "--json", "-"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "--resume" in output
+
+    def test_report_missing_journal_errors(self, tmp_path, capsys):
+        code = main([
+            "campaign", "--report", str(tmp_path / "nope.jsonl"), "--json", "-",
+        ])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_conflicts_with_resume(self, tmp_path, capsys):
+        code = main([
+            "campaign", "--report", "a.jsonl", "--resume", "a.jsonl",
+        ])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_report_rejects_execution_only_flags(self, capsys):
+        code = main([
+            "campaign", "--report", "a.jsonl",
+            "--workers", "4", "--limit", "2", "--journal", "b.jsonl",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "--limit" in err and "--journal" in err
+
+    def test_report_rejects_grid_flags(self, capsys):
+        code = main([
+            "campaign", "--report", "a.jsonl",
+            "--families", "mesh", "--sizes", "20",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--families" in err and "--sizes" in err
+
+
+class TestWorkerToggles:
+    def test_initializer_propagates_optimization_toggles(self):
+        """Pool workers must inherit the parent's toggles even under
+        spawn/forkserver start methods, where module globals reset."""
+        from repro.batfish.bgpsim import (
+            incremental_simulation_enabled,
+            set_incremental_simulation,
+        )
+        from repro.experiments.campaign import _init_worker
+        from repro.symbolic.memo import memoization_enabled, set_memoization
+
+        try:
+            _init_worker(False, False)
+            assert not memoization_enabled()
+            assert not incremental_simulation_enabled()
+        finally:
+            _init_worker(True, True)
+        assert memoization_enabled()
+        assert incremental_simulation_enabled()

@@ -38,6 +38,28 @@ class TestIncrementalPolicy:
         result = run_incremental_policy_experiment(seed=0)
         assert "caught and repaired" in result.render()
 
+    def test_global_check_resimulates_incrementally(self):
+        """The final global check converges the verified star once and
+        re-simulates only the edited hub's dependency cone."""
+        result = run_incremental_policy_experiment(seed=0)
+        assert result.global_check is not None
+        assert result.global_check.holds
+        assert result.global_sim is not None
+        assert result.global_sim.incremental
+        assert result.global_sim.dirty_routers == 1  # only R1 changed
+        assert result.global_sim.reused_entries > 0
+        assert "global no-transit holds" in result.render()
+
+    def test_negative_control_breaks_global_check(self):
+        """The shipped interference is visible to the BGP simulation:
+        the negative control's no-transit property is globally broken."""
+        control = run_incremental_policy_experiment(
+            seed=0, recheck_old_invariants=False
+        )
+        assert control.global_check is not None
+        assert not control.global_check.holds
+        assert "BROKEN" in control.render()
+
 
 class TestIipAblation:
     def test_iips_prevent_draft_errors(self):
