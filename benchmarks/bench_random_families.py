@@ -1,0 +1,190 @@
+"""Random/Waxman families: generation + pipeline timing, and the
+batched-advertise A/B.
+
+Two sections:
+
+* **families** — for a grid of (family, size, seed, roles) cells,
+  generate the seeded network (asserting byte-determinism against a
+  second generation), build its reference configs, and run the full
+  verification pipeline (local invariants → composition → global check
+  with per-role verdicts), timing each stage.
+
+* **batch** — the satellite perf change: full-converge a large mesh
+  (the worst case the per-entry ``evaluate`` calls used to dominate)
+  with batched route-map evaluation off and on, assert identical RIBs
+  and evaluation counts, and report the before/after wall clock.
+
+Emits a JSON report; runnable standalone for the CI smoke job::
+
+    python benchmarks/bench_random_families.py --small --json out.json
+"""
+
+import argparse
+import copy
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.batfish.bgpsim import (
+    BgpSimulation,
+    rib_snapshots,
+    set_batched_evaluation,
+)
+from repro.lightyear import (
+    check_composition,
+    check_global_no_transit,
+    no_transit_invariants,
+    verify_invariants,
+)
+from repro.lightyear.compose import reset_simulation_states
+from repro.symbolic.memo import reset_caches
+from repro.topology.families import generate_network
+from repro.topology.reference import build_reference_configs
+
+GRID = [
+    ("random", 10, "c2i3h2", "p=0.35"),
+    ("random", 14, "c2i3h2", "p=0.35"),
+    ("random", 18, "c3i4h2p1", "p=0.25"),
+    ("waxman", 10, "c2i3h2", "default"),
+    ("waxman", 14, "c2i3h2", "default"),
+    ("waxman", 18, "c3i4h2p1", "alpha=0.6,beta=0.7"),
+]
+
+SMALL_GRID = [
+    ("random", 7, "c2i2h1", "p=0.45"),
+    ("waxman", 7, "c2i2h1", "default"),
+]
+
+SEEDS = 3
+BATCH_MESH_SIZE = 16
+SMALL_BATCH_MESH_SIZE = 8
+
+
+def measure_cell(family, size, roles, topo, seed):
+    """One roled scenario through the offline pipeline, timed per stage."""
+    t0 = time.perf_counter()
+    network = generate_network(family, size, seed=seed, roles=roles, params=topo)
+    again = generate_network(family, size, seed=seed, roles=roles, params=topo)
+    assert network.topology.to_json() == again.topology.to_json(), (
+        f"{family}-{size} seed {seed} is not byte-deterministic"
+    )
+    t_generate = time.perf_counter() - t0
+
+    topology = network.topology
+    t0 = time.perf_counter()
+    configs = build_reference_configs(topology)
+    t_reference = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    invariants = no_transit_invariants(topology)
+    violations = verify_invariants(configs, invariants)
+    assert not violations, [v.message for v in violations]
+    composition = check_composition(invariants, configs, topology)
+    assert composition.holds, composition.describe()
+    t_local = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    check = check_global_no_transit(configs, topology)
+    t_global = time.perf_counter() - t0
+    assert check.holds, check.describe()
+    assert check.role_verdicts and all(check.role_verdicts.values())
+
+    return {
+        "family": family,
+        "size": size,
+        "seed": seed,
+        "roles": roles,
+        "topo": topo,
+        "links": len(topology.links),
+        "role_count": len(check.role_verdicts),
+        "invariants": len(invariants),
+        "generate_s": round(t_generate, 6),
+        "reference_s": round(t_reference, 6),
+        "local_verify_s": round(t_local, 6),
+        "global_check_s": round(t_global, 6),
+    }
+
+
+def measure_batch_ab(mesh_size, rounds=3):
+    """Batched vs per-entry policy evaluation on a full mesh converge.
+
+    Alternates the two modes and keeps each mode's best of ``rounds``
+    (the usual best-of timing discipline — the minimum is the least
+    noisy estimator of the true cost)."""
+    configs = build_reference_configs(
+        generate_network("mesh", mesh_size).topology
+    )
+
+    def converge():
+        sim = BgpSimulation(copy.deepcopy(configs))
+        started = time.perf_counter()
+        sim.run()
+        return sim, time.perf_counter() - started
+
+    per_entry_s = batched_s = float("inf")
+    per_entry_sim = batched_sim = None
+    try:
+        for _round in range(rounds):
+            set_batched_evaluation(False)
+            per_entry_sim, elapsed = converge()
+            per_entry_s = min(per_entry_s, elapsed)
+            set_batched_evaluation(True)
+            batched_sim, elapsed = converge()
+            batched_s = min(batched_s, elapsed)
+    finally:
+        set_batched_evaluation(True)
+    assert rib_snapshots(per_entry_sim) == rib_snapshots(batched_sim)
+    assert per_entry_sim.evaluations == batched_sim.evaluations
+    return {
+        "mesh_size": mesh_size,
+        "evaluations": batched_sim.evaluations,
+        "per_entry_s": round(per_entry_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(per_entry_s / batched_s, 2) if batched_s else None,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true",
+        help="tiny grid + small mesh (CI smoke)",
+    )
+    parser.add_argument("--json", default=None, help="write the report here")
+    args = parser.parse_args(argv)
+
+    grid = SMALL_GRID if args.small else GRID
+    seeds = 1 if args.small else SEEDS
+    rows = []
+    for family, size, roles, topo in grid:
+        for seed in range(seeds):
+            reset_caches()
+            reset_simulation_states()
+            row = measure_cell(family, size, roles, topo, seed)
+            rows.append(row)
+            print(
+                f"{family:>7} n={size:<2} seed={seed} roles={roles:<10} "
+                f"links={row['links']:>3} roles_ok={row['role_count']} "
+                f"generate={row['generate_s'] * 1000:6.1f}ms "
+                f"pipeline={(row['reference_s'] + row['local_verify_s'] + row['global_check_s']) * 1000:7.1f}ms"
+            )
+
+    mesh_size = SMALL_BATCH_MESH_SIZE if args.small else BATCH_MESH_SIZE
+    batch = measure_batch_ab(mesh_size)
+    print(
+        f"\nbatched advertise A/B on mesh-{mesh_size}: "
+        f"per-entry {batch['per_entry_s']:.3f}s -> batched "
+        f"{batch['batched_s']:.3f}s ({batch['speedup']}x, "
+        f"{batch['evaluations']} route evaluations, identical RIBs)"
+    )
+
+    report = {"families": rows, "batch_advertise": batch}
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,9 +57,11 @@ __all__ = [
     "ResimStats",
     "RibEntry",
     "SimulationState",
+    "batched_evaluation_enabled",
     "incremental_simulation_enabled",
     "reset_sim_stats",
     "rib_snapshots",
+    "set_batched_evaluation",
     "set_incremental_simulation",
     "sim_totals",
 ]
@@ -121,6 +123,10 @@ class BgpSimulation:
         self._converged = False
         self._iterations = 0
         self.evaluations = 0  # route-map/install evaluations performed
+        # (config id, map name) -> PreparedRouteMap; configs are fixed
+        # for the lifetime of a simulation, so each policy is bound to
+        # its config once per convergence, not once per session visit.
+        self._prepared: Dict[Tuple[int, str], object] = {}
 
     # -- topology derivation ---------------------------------------------------
 
@@ -324,6 +330,32 @@ class BgpSimulation:
         assert sender_config.bgp is not None and receiver_config.bgp is not None
         export_map = self._neighbor_policy(sender_config, session.remote_ip, "export")
         import_map = self._neighbor_policy(receiver_config, session.local_ip, "import")
+        # Batched evaluation: bind each policy to its config once per
+        # session batch, so the per-entry loop below pays no repeated
+        # name resolution.  The toggle keeps the historical per-entry
+        # path alive for A/B benchmarking.
+        if _BATCH_ENABLED:
+            export_eval = (
+                self._prepared_policy(sender_config, export_map).evaluate
+                if export_map is not None
+                else None
+            )
+            import_eval = (
+                self._prepared_policy(receiver_config, import_map).evaluate
+                if import_map is not None
+                else None
+            )
+        else:
+            export_eval = (
+                (lambda route: export_map.evaluate(route, sender_config))
+                if export_map is not None
+                else None
+            )
+            import_eval = (
+                (lambda route: import_map.evaluate(route, receiver_config))
+                if import_map is not None
+                else None
+            )
         changed: Set[Prefix] = set()
         if prefixes is None:
             entries = list(self._ribs[sender].values())
@@ -341,9 +373,9 @@ class BgpSimulation:
                 continue  # do not reflect a route back to its source
             self.evaluations += 1
             advertised = entry.route
-            if export_map is not None:
+            if export_eval is not None:
                 try:
-                    outcome = export_map.evaluate(advertised, sender_config)
+                    outcome = export_eval(advertised)
                 except PolicyEvaluationError:
                     continue
                 if outcome.action is Action.DENY:
@@ -353,9 +385,9 @@ class BgpSimulation:
             advertised = advertised.with_next_hop(session.local_ip)
             if advertised.as_path.contains(receiver_config.bgp.asn):
                 continue  # AS-loop prevention
-            if import_map is not None:
+            if import_eval is not None:
                 try:
-                    outcome = import_map.evaluate(advertised, receiver_config)
+                    outcome = import_eval(advertised)
                 except PolicyEvaluationError:
                     continue
                 if outcome.action is Action.DENY:
@@ -370,6 +402,14 @@ class BgpSimulation:
             if self._install(receiver, candidate):
                 changed.add(candidate.route.prefix)
         return changed
+
+    def _prepared_policy(self, config: RouterConfig, route_map):
+        key = (id(config), route_map.name)
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = route_map.prepare(config)
+            self._prepared[key] = prepared
+        return prepared
 
     def _neighbor_policy(
         self, config: RouterConfig, neighbor_ip: Ipv4Address, direction: str
@@ -438,6 +478,30 @@ def _entry_key(entry: RibEntry) -> Tuple:
         entry.learned_from,
         entry.origin_router,
     )
+
+
+# -- batched policy evaluation -------------------------------------------------
+
+_BATCH_ENABLED = True
+
+
+def set_batched_evaluation(enabled: bool) -> None:
+    """Enable/disable per-session batched route-map evaluation.
+
+    When on (the default), :meth:`BgpSimulation._advertise` binds the
+    session's export and import policies to their configs once per
+    advertisement batch (see
+    :meth:`repro.netmodel.routing_policy.RouteMap.prepare`) instead of
+    re-resolving named lists on every RIB entry.  Off restores the
+    historical per-entry ``evaluate`` calls so benchmarks can compare
+    the two paths; results are identical either way (the batch
+    equivalence tests assert it)."""
+    global _BATCH_ENABLED
+    _BATCH_ENABLED = bool(enabled)
+
+
+def batched_evaluation_enabled() -> bool:
+    return _BATCH_ENABLED
 
 
 # -- incremental re-simulation -------------------------------------------------
@@ -525,6 +589,11 @@ class SimulationState:
         self.last_stats: Optional[ResimStats] = None
         if configs is not None:
             self.converge(configs)
+
+    @property
+    def warm(self) -> bool:
+        """True once the state holds a converged simulation."""
+        return self._sim is not None
 
     @property
     def simulation(self) -> BgpSimulation:

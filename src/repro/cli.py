@@ -10,18 +10,24 @@ Commands::
     campaign      parallel scenario campaign over family × size × seed
 
 All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
-``--routers`` (default 7), ``--family`` (default star), and
-``--no-iips``.  ``campaign`` takes comma-separated ``--families`` and
-``--sizes``, a ``--seeds`` count, a ``--workers`` pool size, and writes
-a JSON summary (``--json``, default ``campaign_results.json``) plus an
-optional ``--csv``.  Results stream to a JSONL journal (``--journal``,
-default ``campaign_journal.jsonl``; ``-`` disables) as each scenario
-completes; ``--resume <journal>`` skips scenarios the journal already
-holds, and ``--limit N`` stops after N scenarios (a deterministic
-interrupt for smoke tests).  ``--report <journal>`` renders the
-summary (and ``--json``/``--csv`` artifacts) from an existing journal
-without running anything; ``--no-incremental-sim`` disables warm
-incremental BGP re-simulation for A/B comparisons.
+``--routers`` (default 7), ``--family`` (default star), ``--no-iips``,
+and — for the seeded random/waxman families — ``--roles`` (a role spec
+such as ``c2i3h2``), ``--topo`` (family knobs such as ``p=0.4`` or
+``alpha=0.5,beta=0.7``), and ``--topo-seed``.  ``campaign`` takes
+comma-separated ``--families`` and ``--sizes``, a ``--seeds`` count, a
+``--workers`` pool size, repeatable ``--roles``/``--topo`` axes for
+seeded families, and writes a JSON summary (``--json``, default
+``campaign_results.json``) plus an optional ``--csv``.  Results stream
+to a JSONL journal (``--journal``, default ``campaign_journal.jsonl``;
+``-`` disables) as each scenario completes; ``--resume <journal>``
+skips scenarios the journal already holds, and ``--limit N`` stops
+after N scenarios (a deterministic interrupt for smoke tests).
+``--report <journal>`` renders the summary (and ``--json``/``--csv``
+artifacts) from an existing journal without running anything — repeat
+the flag to merge several campaigns into one cross-campaign summary
+(duplicate scenario keys resolved last-flag-wins);
+``--no-incremental-sim`` disables warm incremental BGP re-simulation
+for A/B comparisons.
 """
 
 from __future__ import annotations
@@ -57,10 +63,33 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument(
         "--family",
         default="star",
-        help="topology family: star, chain, ring, mesh, dumbbell",
+        help="topology family: star, chain, ring, mesh, dumbbell, random, waxman",
     )
     synthesize.add_argument(
         "--no-iips", action="store_true", help="disable the IIP database"
+    )
+    synthesize.add_argument(
+        "--roles",
+        default="default",
+        help=(
+            "role spec for the seeded families, e.g. c2i3h2 "
+            "(2 customers, 3 ISPs with 2 homes each) or c1i2h1p1 "
+            "(+1 transit-forbidden peer)"
+        ),
+    )
+    synthesize.add_argument(
+        "--topo",
+        default="default",
+        help=(
+            "topology knobs for the seeded families, e.g. p=0.4 (random) "
+            "or alpha=0.5,beta=0.7 (waxman)"
+        ),
+    )
+    synthesize.add_argument(
+        "--topo-seed",
+        type=int,
+        default=0,
+        help="graph seed for the seeded families (random, waxman)",
     )
 
     incremental = subparsers.add_parser(
@@ -101,6 +130,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every scenario with and without the IIP database",
     )
     campaign.add_argument(
+        "--roles",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "role-spec axis for seeded families (repeatable), e.g. "
+            "--roles c2i2h2 --roles c1i3h1p1; default keeps each "
+            "family's fixed layout"
+        ),
+    )
+    campaign.add_argument(
+        "--topo",
+        action="append",
+        default=None,
+        metavar="KNOBS",
+        help=(
+            "topology-knob axis for seeded families (repeatable), e.g. "
+            "--topo p=0.4 or --topo alpha=0.5,beta=0.7"
+        ),
+    )
+    campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
     )
     campaign.add_argument(
@@ -134,11 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--report",
+        action="append",
         default=None,
         metavar="JOURNAL",
         help=(
-            "render the summary from an existing journal without "
-            "re-running anything (offline mode)"
+            "render the summary from existing journal(s) without "
+            "re-running anything (offline mode); repeat the flag to "
+            "merge several campaigns into one cross-campaign summary "
+            "(duplicate scenario keys: last flag wins)"
         ),
     )
     campaign.add_argument(
@@ -217,12 +270,17 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             seed=args.seed,
             iip_ids=() if args.no_iips else DEFAULT_IIP_IDS,
             family=args.family,
+            roles=args.roles,
+            topo=args.topo,
+            topology_seed=args.topo_seed,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(experiment.result.prompt_log.summary())
     print(experiment.result.global_check.describe())
+    if experiment.result.global_check.role_verdicts:
+        print("roles: " + experiment.result.global_check.describe_roles())
     return 0 if experiment.result.verified else 1
 
 
@@ -267,11 +325,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .experiments.campaign import (
         build_grid,
         run_campaign,
-        summary_from_journal,
+        summary_from_journals,
     )
 
     if args.report is not None:
-        # A report renders the journal as-is: every flag that would
+        # A report renders the journal(s) as-is: every flag that would
         # select or execute a grid is inert, so reject non-defaults
         # rather than let them look like they scoped the report.
         defaults = build_parser().parse_args(["campaign", "--report", "-"])
@@ -288,22 +346,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--sizes", args.sizes != defaults.sizes),
                 ("--seeds", args.seeds != defaults.seeds),
                 ("--profiles", args.profiles != defaults.profiles),
+                ("--roles", args.roles is not None),
+                ("--topo", args.topo is not None),
             )
             if given
         ]
         if conflicting:
             print(
-                f"error: --report renders an existing journal and cannot be "
+                f"error: --report renders existing journal(s) and cannot be "
                 f"combined with {', '.join(conflicting)}",
                 file=sys.stderr,
             )
             return 2
         try:
-            summary = summary_from_journal(args.report)
+            summary = summary_from_journals(args.report)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        return _emit_campaign_summary(args, summary, journal=args.report)
+        return _emit_campaign_summary(
+            args,
+            summary,
+            journal=args.report[0] if len(args.report) == 1 else None,
+        )
 
     if args.no_incremental_sim:
         set_incremental_simulation(False)
@@ -317,6 +381,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             profiles=profiles,
             iip_ablation=args.iip_ablation,
+            roles=args.roles or ("default",),
+            topos=args.topo or ("default",),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

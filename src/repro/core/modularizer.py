@@ -81,11 +81,8 @@ class Modularizer:
         return " ".join(sentences)
 
     def _local_policy_text(self, router_name: str) -> str:
-        from ..topology.families import (
-            attachment_index,
-            is_hub_star,
-            isp_attachments,
-        )
+        from ..topology.families import is_hub_star
+        from ..topology.roles import RoleAssignment
 
         if is_hub_star(self._topology):
             if router_name != "R1":
@@ -109,30 +106,35 @@ class Modularizer:
                 "Local policy for R1: " + "; ".join(clauses) + "; and "
                 + filters + "."
             )
-        attachments = isp_attachments(self._topology)
-        mine = next(
-            (peer for peer in attachments if peer.router == router_name), None
-        )
-        if mine is None:
+        roles = RoleAssignment.from_topology(self._topology)
+        mine = roles.attachments_of(router_name)
+        if not mine:
             return ""
-        index = attachment_index(mine)
-        tag = ingress_community(index)
-        interface = self._topology.router(router_name).interface(mine.interface)
-        subnet = interface.prefix if interface is not None else "its ISP subnet"
-        others = ", ".join(
-            str(ingress_community(attachment_index(peer)))
-            for peer in attachments
-            if peer is not mine
-        )
-        return (
-            f"Local policy for {router_name}: add community {tag} "
-            f"(additively) to every route received from {mine.peer_name}; "
-            f"when exporting to the internal neighbors, add community {tag} "
-            f"(additively) to routes of your own ISP subnet {subnet}, "
-            f"matched via a prefix-list; at the egress to {mine.peer_name}, "
-            f"deny any route that carries one of the other ISP communities "
-            f"({others}) and permit everything else."
-        )
+        clauses = []
+        for attachment in mine:
+            tag = ingress_community(attachment.index)
+            interface = self._topology.router(router_name).interface(
+                attachment.peer.interface
+            )
+            subnet = (
+                interface.prefix if interface is not None else "its subnet"
+            )
+            others = ", ".join(
+                str(ingress_community(index))
+                for index in roles.indices()
+                if index != attachment.index
+            )
+            clauses.append(
+                f"add community {tag} (additively) to every route received "
+                f"from {attachment.role_name}; when exporting to the "
+                f"internal neighbors, add community {tag} (additively) to "
+                f"routes of {attachment.role_name}'s subnet {subnet}, "
+                f"matched via a prefix-list; at the egress to "
+                f"{attachment.role_name}, deny any route that carries one "
+                f"of the other ISP communities ({others}) and permit "
+                f"everything else"
+            )
+        return f"Local policy for {router_name}: " + "; ".join(clauses) + "."
 
     def _describe_topology(self) -> str:
         from ..topology.generator import _describe

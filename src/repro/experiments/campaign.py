@@ -68,9 +68,13 @@ __all__ = [
     "run_scenario",
     "scenario_seed",
     "summary_from_journal",
+    "summary_from_journals",
+    "topology_seed",
 ]
 
-JOURNAL_VERSION = 2  # v2 adds the grid's scenario keys to the header
+# v2 added the grid's scenario keys to the header; v3 adds the role/topo
+# scenario axes (and their per-role verdict counts in each result row).
+JOURNAL_VERSION = 3
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -86,24 +90,38 @@ PROFILES: Dict[str, BehaviorProfile] = {
 
 @dataclass(frozen=True)
 class Scenario:
-    """One cell of the campaign grid."""
+    """One cell of the campaign grid.
+
+    ``roles`` is a role spec (``c2i3h2`` — customers, ISPs, homes per
+    ISP, optionally ``pN`` peers) and ``topo`` a knob string
+    (``p=0.4`` / ``alpha=0.5,beta=0.7``); both are ``default`` for the
+    hand-shaped families, which have a fixed layout.
+    """
 
     family: str
     size: int
     seed: int  # seed *index* within the campaign, not the RNG seed
     profile: str = "default"
     iips: bool = True
+    roles: str = "default"
+    topo: str = "default"
 
     def key(self) -> str:
         return (
             f"{self.family}:{self.size}:{self.seed}:{self.profile}:"
-            f"{'iips' if self.iips else 'noiips'}"
+            f"{'iips' if self.iips else 'noiips'}:{self.roles}:{self.topo}"
         )
 
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """One ScalingPoint-style row: scenario coordinates + measurements."""
+    """One ScalingPoint-style row: scenario coordinates + measurements.
+
+    ``roles_ok``/``roles_total`` summarize the per-role no-transit
+    verdicts of the final global check (``CUSTOMER_2 ok, ISP_3
+    VIOLATED, ...``); both stay 0 for hub-policy topologies, which
+    carry no role assignment.
+    """
 
     family: str
     size: int
@@ -117,6 +135,10 @@ class ScenarioResult:
     global_ok: bool = False
     duration_s: float = 0.0
     error: Optional[str] = None
+    roles: str = "default"
+    topo: str = "default"
+    roles_ok: int = 0
+    roles_total: int = 0
 
     def render(self) -> str:
         if self.error is not None:
@@ -125,13 +147,20 @@ class ScenarioResult:
                 f"ERROR: {self.error}"
             )
         leverage = "inf" if self.leverage is None else f"{self.leverage:.1f}"
-        return (
+        line = (
             f"{self.family:>8} n={self.size:<2} seed={self.seed} "
             f"profile={self.profile:<10} iips={'y' if self.iips else 'n'}  "
             f"automated={self.automated_prompts:>3} "
             f"human={self.human_prompts:>2} leverage={leverage:>5}X "
             f"verified={self.verified}"
         )
+        if self.roles != "default" or self.topo != "default":
+            line += f" roles={self.roles}"
+            if self.topo != "default":
+                line += f" topo={self.topo}"
+        if self.roles_total:
+            line += f" roles_ok={self.roles_ok}/{self.roles_total}"
+        return line
 
 
 def scenario_seed(scenario: Scenario) -> int:
@@ -143,14 +172,41 @@ def scenario_seed(scenario: Scenario) -> int:
     return zlib.crc32(scenario.key().encode("utf-8"))
 
 
+def topology_seed(scenario: Scenario) -> int:
+    """The seed that picks a seeded family's graph for this scenario.
+
+    Derived from the topology-shaping coordinates only — *not* the
+    behavior profile or the IIP flag — so every profile/ablation cell
+    of one (family, size, seed, roles, topo) point runs on the same
+    graph and the workers' warm simulation states stay reusable.
+    """
+    material = (
+        f"{scenario.family}:{scenario.size}:{scenario.seed}:"
+        f"{scenario.roles}:{scenario.topo}"
+    )
+    return zlib.crc32(material.encode("utf-8"))
+
+
 def build_grid(
     families: Sequence[str],
     sizes: Sequence[int],
     seeds: int,
     profiles: Sequence[str] = ("default",),
     iip_ablation: bool = False,
+    roles: Sequence[str] = ("default",),
+    topos: Sequence[str] = ("default",),
 ) -> List[Scenario]:
-    """Enumerate the scenario grid in deterministic order."""
+    """Enumerate the scenario grid in deterministic order.
+
+    ``roles`` and ``topos`` add the role-spec and topology-knob axes;
+    non-default values require every family in the grid to be seeded
+    (random/waxman) — the hand-shaped families have a fixed layout, and
+    silently ignoring an axis would fake coverage.
+    """
+    from ..topology.families import SEEDED_FAMILIES
+    from ..topology.randomnet import _check_knobs, parse_topo_params
+    from ..topology.roles import RoleSpec
+
     for family in families:
         if family not in FAMILIES:
             known = ", ".join(sorted(FAMILIES))
@@ -159,16 +215,54 @@ def build_grid(
         if profile not in PROFILES:
             known = ", ".join(sorted(PROFILES))
             raise ValueError(f"unknown profile {profile!r} (known: {known})")
+    unseeded = sorted(set(families) - SEEDED_FAMILIES)
+    for spec in roles:
+        parsed = RoleSpec.coerce(spec)
+        if parsed is None:
+            continue
+        if unseeded:
+            raise ValueError(
+                f"role spec {spec!r} requires seeded families "
+                f"(random/waxman); grid also contains {', '.join(unseeded)}"
+            )
+        for size in sizes:
+            if parsed.attachments > size:
+                raise ValueError(
+                    f"role spec {spec!r} needs {parsed.attachments} border "
+                    f"routers but the grid includes size {size}"
+                )
+    for knobs in topos:
+        parsed_knobs = parse_topo_params(knobs)
+        if not parsed_knobs:
+            continue
+        if unseeded:
+            raise ValueError(
+                f"topology knobs {knobs!r} require seeded families "
+                f"(random/waxman); grid also contains {', '.join(unseeded)}"
+            )
+        for family in families:
+            # Knobs are family-specific (p vs alpha/beta): reject a
+            # grid pairing them with the wrong family here, instead of
+            # fanning out scenarios that can only produce error rows.
+            _check_knobs(family, parsed_knobs)
     iip_flags = (True, False) if iip_ablation else (True,)
     return [
         Scenario(
-            family=family, size=size, seed=seed, profile=profile, iips=iips
+            family=family,
+            size=size,
+            seed=seed,
+            profile=profile,
+            iips=iips,
+            roles=spec or "default",
+            topo=knobs or "default",
         )
         for family in families
         for size in sizes
         for seed in range(seeds)
         for profile in profiles
         for iips in iip_flags
+        for spec in roles
+        for knobs in topos
     ]
 
 
@@ -188,6 +282,9 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             iip_ids=DEFAULT_IIP_IDS if scenario.iips else (),
             profile=PROFILES[scenario.profile],
             family=scenario.family,
+            roles=scenario.roles,
+            topo=scenario.topo,
+            topology_seed=topology_seed(scenario),
         )
     except Exception as exc:
         return ScenarioResult(
@@ -198,10 +295,15 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             iips=scenario.iips,
             duration_s=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
+            roles=scenario.roles,
+            topo=scenario.topo,
         )
     log = experiment.result.prompt_log
     leverage = log.leverage()
     global_check = experiment.result.global_check
+    verdicts = (
+        global_check.role_verdicts if global_check is not None else {}
+    )
     return ScenarioResult(
         family=scenario.family,
         size=scenario.size,
@@ -214,6 +316,10 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         verified=experiment.result.verified,
         global_ok=global_check.holds if global_check is not None else False,
         duration_s=time.perf_counter() - started,
+        roles=scenario.roles,
+        topo=scenario.topo,
+        roles_ok=sum(1 for verdict in verdicts.values() if verdict),
+        roles_total=len(verdicts),
     )
 
 
@@ -425,30 +531,52 @@ def _summarize(
 
 
 def summary_from_journal(path: "Path | str") -> "CampaignSummary":
-    """Rebuild a campaign summary from a journal without running anything
-    (the ``repro campaign --report`` offline mode).
+    """Rebuild a campaign summary from one journal without running
+    anything (the ``repro campaign --report`` offline mode).
 
-    With a v2 journal (header carries the grid's keys) the rows come
+    With a v2+ journal (header carries the grid's keys) the rows come
     back in grid order, so the written JSON/CSV summaries are
     byte-identical to the live run's.  Older journals fall back to
     completion order.
     """
-    target = Path(path)
-    if not target.exists():
-        raise ValueError(f"journal {target} does not exist")
-    completed = fold_journal(target)
-    keys = _journal_grid_keys(target)
-    if keys is not None:
-        ordered = [completed[key] for key in keys if key in completed]
-        total = len(keys)
-    else:
-        ordered = list(completed.values())
-        total = len(ordered)
+    return summary_from_journals([path])
+
+
+def summary_from_journals(paths: Sequence["Path | str"]) -> "CampaignSummary":
+    """Merge several journals into one cross-campaign summary.
+
+    Journals are folded in argument order; a scenario key appearing in
+    more than one journal keeps its *last* record (last-write-wins, the
+    same rule the fold applies within a single journal).  Row order is
+    deterministic: each journal's grid keys (or completion order for
+    legacy journals) are concatenated in argument order, first
+    appearance wins — so re-rendering the same journal list is
+    byte-identical, no matter how the campaigns interleaved.
+    """
+    if not paths:
+        raise ValueError("no journals given")
+    completed: Dict[str, CompletedScenario] = {}
+    ordered_keys: List[str] = []
+    seen_keys: set = set()
+    for path in paths:
+        target = Path(path)
+        if not target.exists():
+            raise ValueError(f"journal {target} does not exist")
+        records = fold_journal(target)
+        completed.update(records)  # later journals win on duplicates
+        keys = _journal_grid_keys(target)
+        if keys is None:
+            keys = list(records)  # legacy: completion order
+        for key in keys:
+            if key not in seen_keys:
+                seen_keys.add(key)
+                ordered_keys.append(key)
+    ordered = [completed[key] for key in ordered_keys if key in completed]
     return _summarize(
         ordered,
         workers=0,  # offline: nothing executed
         duration_s=0.0,
-        total=total,
+        total=len(ordered_keys),
         resumed=len(ordered),
     )
 
@@ -478,18 +606,23 @@ class FamilySummary:
     automated_prompts: int
     human_prompts: int
     mean_leverage: Optional[float]  # over rows with ≥1 human prompt
+    roles_ok: int = 0  # per-role no-transit verdicts that held...
+    roles_total: int = 0  # ...out of how many (0 for hub-policy rows)
 
     def render(self) -> str:
         leverage = (
             "   n/a" if self.mean_leverage is None
             else f"{self.mean_leverage:5.1f}X"
         )
-        return (
+        line = (
             f"{self.family:>8}: {self.verified}/{self.scenarios} verified "
             f"({100 * self.verified_rate:5.1f}%)  automated="
             f"{self.automated_prompts:>4} human={self.human_prompts:>3} "
             f"mean leverage={leverage}"
         )
+        if self.roles_total:
+            line += f" roles_ok={self.roles_ok}/{self.roles_total}"
+        return line
 
 
 @dataclass
@@ -572,6 +705,8 @@ class CampaignSummary:
                     mean_leverage=(
                         sum(leverages) / len(leverages) if leverages else None
                     ),
+                    roles_ok=sum(row.roles_ok for row in rows),
+                    roles_total=sum(row.roles_total for row in rows),
                 )
             )
         return summaries
@@ -594,6 +729,8 @@ class CampaignSummary:
                     "automated_prompts": summary.automated_prompts,
                     "human_prompts": summary.human_prompts,
                     "mean_leverage": summary.mean_leverage,
+                    "roles_ok": summary.roles_ok,
+                    "roles_total": summary.roles_total,
                 }
                 for summary in self.by_family()
             },
@@ -608,9 +745,9 @@ class CampaignSummary:
     def write_csv(self, path: "Path | str") -> Path:
         target = Path(path)
         columns = [
-            "family", "size", "seed", "profile", "iips",
+            "family", "size", "seed", "profile", "iips", "roles", "topo",
             "automated_prompts", "human_prompts", "leverage", "verified",
-            "global_ok", "error",
+            "global_ok", "roles_ok", "roles_total", "error",
         ]
         with target.open("w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns)

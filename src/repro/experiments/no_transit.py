@@ -85,17 +85,42 @@ def run_no_transit_experiment(
     pair_programming: bool = False,
     assignment: Optional[Dict[str, List[str]]] = None,
     family: str = "star",
+    roles: Optional[str] = None,
+    topo: Optional[str] = None,
+    topology_seed: int = 0,
 ) -> NoTransitExperiment:
     """Run the full §4 loop once and return everything measured.
 
     ``family`` selects the topology generator (star, chain, ring, mesh,
-    dumbbell); the star keeps the paper's exact setup.
+    dumbbell, random, waxman); the star keeps the paper's exact setup.
+    For the seeded families, ``topology_seed`` picks the graph, while
+    ``roles`` (a role spec such as ``c2i3h2``) and ``topo`` (family
+    knobs such as ``p=0.4`` or ``alpha=0.5,beta=0.7``) shape what gets
+    placed on it.
     """
-    star = (
-        generate_star_network(router_count)
-        if family == "star"
-        else generate_network(family, router_count)
-    )
+    if family == "star":
+        # The star keeps its dedicated generator (hub-policy layout),
+        # but honours the same contract as the other fixed-layout
+        # families: role/knob axes are rejected, never silently
+        # ignored as if a roled scenario had actually run.
+        from ..topology.randomnet import parse_topo_params
+        from ..topology.roles import RoleSpec
+
+        if RoleSpec.coerce(roles) is not None:
+            raise ValueError(
+                "family 'star' has a fixed role layout; role specs apply "
+                "to the seeded families (random, waxman)"
+            )
+        if parse_topo_params(topo):
+            raise ValueError(
+                "family 'star' takes no topology knobs; knobs apply to "
+                "the seeded families (random, waxman)"
+            )
+        star = generate_star_network(router_count)
+    else:
+        star = generate_network(
+            family, router_count, seed=topology_seed, roles=roles, params=topo
+        )
     models = make_synthesis_models(
         star.topology,
         iip_ids=iip_ids,

@@ -81,13 +81,26 @@ def check_composition(
 ) -> CompositionResult:
     """Verify the invariant *set* suffices for global no-transit.
 
-    The argument needs (1) every ordered ISP pair (i, j), i ≠ j, to have
-    an ingress tag at i and an egress filter at j forbidding i's tag,
-    and (2) no route-map between the tagging point and the filtering
-    point to replace communities non-additively (which would strip the
-    tag and void the argument).
+    The argument needs (1) every ordered pair of attachments belonging
+    to *different* ISPs to have an ingress tag at the source and an
+    egress filter at the destination forbidding the source's tag, and
+    (2) no route-map between the tagging point and the filtering point
+    to replace communities non-additively (which would strip the tag
+    and void the argument).  Two homes of a multi-homed ISP are the
+    same party, so their mutual pairs need no coverage — the role
+    assignment supplies that grouping (single-homed attachments and the
+    star's spoke addresses each form their own group, preserving the
+    classic every-pair reading).
     """
+    from ..topology.roles import RoleAssignment
+
     result = CompositionResult()
+    groups = {
+        str(attachment.peer.peer_ip): f"isp-{attachment.index}"
+        for attachment in RoleAssignment.from_topology(
+            topology
+        ).transit_forbidden()
+    }
     tags = {
         str(invariant.neighbor_ip): invariant.community
         for invariant in invariants
@@ -103,6 +116,10 @@ def check_composition(
         for destination in addresses:
             if source == destination:
                 continue
+            if groups.get(source, source) == groups.get(
+                destination, destination
+            ):
+                continue  # same ISP's homes: transit between them is fine
             tag = tags.get(source)
             forbidden = filters.get(destination, frozenset())
             if tag is not None and tag in forbidden:
@@ -122,11 +139,18 @@ def check_composition(
 
 @dataclass
 class GlobalCheckResult:
-    """Outcome of the simulation-based global no-transit check."""
+    """Outcome of the simulation-based global no-transit check.
+
+    ``role_verdicts`` maps each role label (``CUSTOMER``, ``ISP_3``,
+    ``PEER_7``, ...) to whether *that role's* obligations held — the
+    per-role reading of the same violations, populated by the
+    role-assigned (border) checker.
+    """
 
     transit_violations: List[str] = field(default_factory=list)
     customer_unreachable: List[str] = field(default_factory=list)
     isp_prefixes_missing_at_hub: List[str] = field(default_factory=list)
+    role_verdicts: Dict[str, bool] = field(default_factory=dict)
 
     @property
     def holds(self) -> bool:
@@ -143,6 +167,15 @@ class GlobalCheckResult:
             self.transit_violations
             + self.customer_unreachable
             + self.isp_prefixes_missing_at_hub
+        )
+
+    def describe_roles(self) -> str:
+        """One line per role: ``CUSTOMER ok, ISP_2 ok, ISP_3 VIOLATED``."""
+        if not self.role_verdicts:
+            return "no role verdicts (hub-policy topology)"
+        return ", ".join(
+            f"{role} {'ok' if verdict else 'VIOLATED'}"
+            for role, verdict in sorted(self.role_verdicts.items())
         )
 
 
@@ -170,7 +203,7 @@ class IncrementalGlobalChecker:
 
     def __init__(self) -> None:
         self._state = SimulationState()
-        self._fingerprints: Dict[str, str] = {}
+        self._fingerprints: Optional[Dict[str, str]] = {}
 
     @property
     def last_stats(self) -> Optional[ResimStats]:
@@ -183,10 +216,20 @@ class IncrementalGlobalChecker:
     ) -> BgpSimulation:
         """Converge ``configs``, reusing warm state where valid.
 
-        Without an explicit ``changed_routers`` delta, the delta is
-        derived by fingerprinting every config against the previous
-        call's fingerprints.
+        With an explicit ``changed_routers`` delta (every router whose
+        config differs from the previous ``simulate`` call) the checker
+        skips config fingerprinting entirely — the caller already knows
+        what it changed.  Without one, the delta is derived by
+        fingerprinting every config against the previous call's
+        fingerprints.  Explicit and derived calls may be mixed: an
+        explicit delta invalidates the stored fingerprints, so the next
+        derived call conservatively falls back to a full convergence
+        instead of trusting a stale baseline.
         """
+        if changed_routers is not None and self._state.warm:
+            self._fingerprints = None  # stale until re-derived
+            self._state.resimulate(configs, changed_routers)
+            return self._state.simulation
         fingerprints = _config_fingerprints(configs)
         if changed_routers is None and self._fingerprints:
             changed_routers = {
@@ -241,6 +284,7 @@ def _global_simulation(
     configs: Dict[str, RouterConfig],
     topology: Topology,
     checker: Optional[IncrementalGlobalChecker],
+    changed_routers: "Optional[Set[str]]" = None,
 ) -> BgpSimulation:
     """The converged simulation behind one global check."""
     global _LAST_SIM_STATS
@@ -258,7 +302,11 @@ def _global_simulation(
                 _CHECKERS.popitem(last=False)
         else:
             _CHECKERS.move_to_end(key)
-    simulation = checker.simulate(configs)
+        # Registry checkers are shared across callers, so an explicit
+        # delta (which is relative to *this caller's* previous check)
+        # cannot be trusted against whatever state the registry holds.
+        changed_routers = None
+    simulation = checker.simulate(configs, changed_routers)
     _LAST_SIM_STATS = checker.last_stats
     return simulation
 
@@ -267,24 +315,31 @@ def check_global_no_transit(
     configs: Dict[str, RouterConfig],
     topology: Topology,
     checker: Optional[IncrementalGlobalChecker] = None,
+    changed_routers: "Optional[Set[str]]" = None,
 ) -> GlobalCheckResult:
     """Simulate BGP and check the global property directly (§4.1's final
     step), on any topology family.
 
     Hub-shaped (star) topologies use the paper's RIB-based reading: no
     spoke holds another ISP's route, every spoke holds the customer
-    route, and the hub holds every ISP route.  Border-policy families
-    use the export-based reading: no router would advertise another
-    ISP's prefix to its own ISP, every ISP would receive the customer
-    prefix, and the CUSTOMER would receive every ISP prefix.
+    route, and the hub holds every ISP route.  Role-assigned (border)
+    topologies use the export-based reading over the role assignment:
+    no attachment would advertise another ISP's prefix to its own
+    external peer, every provider would receive every customer prefix,
+    and every customer would receive every provider prefix — with the
+    per-role verdicts recorded on the result.
 
     The simulation re-converges incrementally where possible: pass a
-    ``checker`` owned by a repeated-simulation loop, or let the
-    process-local registry keep a warm state per topology.
+    ``checker`` owned by a repeated-simulation loop — and, when the
+    loop knows exactly which routers it edited since its previous
+    check, the explicit ``changed_routers`` delta, which skips the
+    config-fingerprint diffing entirely — or let the process-local
+    registry keep a warm state per topology (fingerprint-diffed, since
+    registry state is shared between callers).
     """
     from ..topology.families import is_hub_star
 
-    simulation = _global_simulation(configs, topology, checker)
+    simulation = _global_simulation(configs, topology, checker, changed_routers)
     if not is_hub_star(topology):
         return _check_global_border(configs, topology, simulation)
     result = GlobalCheckResult()
@@ -359,67 +414,101 @@ def _check_global_border(
     topology: Topology,
     simulation: BgpSimulation,
 ) -> GlobalCheckResult:
-    """Export-based global check for border-policy families."""
-    from ..topology.families import customer_attachment, isp_attachments
+    """Export-based global check for role-assigned (border) topologies.
 
-    result = GlobalCheckResult()
-    customer = customer_attachment(topology)
-    attachments = isp_attachments(topology)
-    isp_prefixes: Dict[str, List[Prefix]] = {}
-    for peer in attachments:
-        interface = topology.router(peer.router).interface(peer.interface)
-        isp_prefixes[peer.peer_name] = (
-            [interface.prefix] if interface is not None else []
-        )
-    customer_prefixes: List[Prefix] = []
-    if customer is not None:
-        interface = topology.router(customer.router).interface(
-            customer.interface
+    Obligations follow the role assignment rather than a fixed single
+    ISP pair:
+
+    * no attachment may export another ISP's prefix to its own external
+      peer (a multi-homed ISP's *own* prefixes may legitimately exit
+      through its other homes);
+    * every provider attachment must export every customer prefix
+      (peers carry no reachability obligation);
+    * every customer attachment must receive every provider prefix.
+
+    Each violation also flips the verdicts of the roles it implicates,
+    producing the per-role reading in ``role_verdicts``.
+    """
+    from ..topology.roles import RoleAssignment, RoleKind
+
+    roles = RoleAssignment.from_topology(topology)
+    result = GlobalCheckResult(
+        role_verdicts={name: True for name in roles.role_names()}
+    )
+
+    def blame(*role_names: str) -> None:
+        for name in role_names:
+            result.role_verdicts[name] = False
+
+    forbidden = roles.transit_forbidden()
+    prefixes_of: Dict[int, List[Tuple[str, Prefix]]] = {}
+    for attachment in forbidden:
+        interface = topology.router(attachment.router).interface(
+            attachment.peer.interface
         )
         if interface is not None:
-            customer_prefixes = [interface.prefix]
-    for peer in attachments:
-        config = configs.get(peer.router)
+            prefixes_of.setdefault(attachment.index, []).append(
+                (attachment.role_name, interface.prefix)
+            )
+    customer_prefixes: List[Tuple[str, Prefix]] = []
+    for customer in roles.customers:
+        interface = topology.router(customer.router).interface(
+            customer.peer.interface
+        )
+        if interface is not None:
+            customer_prefixes.append((customer.role_name, interface.prefix))
+    for attachment in forbidden:
+        config = configs.get(attachment.router)
         if config is None:
             result.customer_unreachable.append(
-                f"{peer.router} has no configuration, so {peer.peer_name} "
-                f"is cut off"
+                f"{attachment.router} has no configuration, so "
+                f"{attachment.role_name} is cut off"
             )
+            blame(attachment.role_name)
             continue
         exported = _exported_prefixes(
-            simulation, peer.router, config, peer.peer_ip
+            simulation, attachment.router, config, attachment.peer.peer_ip
         )
-        for other in attachments:
-            if other is peer:
+        for other_index, named_prefixes in sorted(prefixes_of.items()):
+            if other_index == attachment.index:
                 continue
-            for prefix in isp_prefixes[other.peer_name]:
+            for other_name, prefix in named_prefixes:
                 if prefix in exported:
                     result.transit_violations.append(
-                        f"{peer.router} would advertise {other.peer_name}'s "
-                        f"prefix {prefix} to {peer.peer_name}: transit "
-                        f"through the customer network"
+                        f"{attachment.router} would advertise "
+                        f"{other_name}'s prefix {prefix} to "
+                        f"{attachment.role_name}: transit through the "
+                        f"customer network"
                     )
-        if customer_prefixes and not any(
-            prefix in exported for prefix in customer_prefixes
-        ):
-            result.customer_unreachable.append(
-                f"{peer.peer_name} would not receive the customer prefix "
-                f"{customer_prefixes[0]} from {peer.router}"
-            )
-    if customer is not None:
+                    blame(attachment.role_name, other_name)
+        if attachment.kind is not RoleKind.PROVIDER:
+            continue
+        for customer_name, prefix in customer_prefixes:
+            if prefix not in exported:
+                result.customer_unreachable.append(
+                    f"{attachment.role_name} would not receive "
+                    f"{customer_name}'s prefix {prefix} from "
+                    f"{attachment.router}"
+                )
+                blame(attachment.role_name, customer_name)
+    for customer in roles.customers:
         config = configs.get(customer.router)
         exported = (
             _exported_prefixes(
-                simulation, customer.router, config, customer.peer_ip
+                simulation, customer.router, config, customer.peer.peer_ip
             )
             if config is not None
             else set()
         )
-        for peer in attachments:
-            for prefix in isp_prefixes[peer.peer_name]:
+        for index in roles.indices():
+            if roles.groups[index][0].kind is not RoleKind.PROVIDER:
+                continue  # peers owe the customers nothing
+            for owner_name, prefix in prefixes_of.get(index, []):
                 if prefix not in exported:
                     result.isp_prefixes_missing_at_hub.append(
                         f"{customer.router} would not advertise "
-                        f"{peer.peer_name}'s prefix {prefix} to the CUSTOMER"
+                        f"{owner_name}'s prefix {prefix} to "
+                        f"{customer.role_name}"
                     )
+                    blame(customer.role_name, owner_name)
     return result

@@ -120,16 +120,11 @@ def no_transit_invariants(topology: Topology) -> List[object]:
     toward a different ISP — while untagged customer routes flow
     everywhere.
     """
-    from ..topology.families import (
-        attachment_index,
-        is_hub_star,
-        isp_attachments,
-    )
+    from ..topology.families import is_hub_star
+    from ..topology.roles import RoleAssignment
 
     if not is_hub_star(topology):
-        return _border_invariants(
-            isp_attachments(topology), attachment_index
-        )
+        return _border_invariants(RoleAssignment.from_topology(topology))
     hub = topology.router("R1")
     spokes: List[Tuple[int, Ipv4Address]] = []
     for index, name in enumerate(topology.router_names(), start=1):
@@ -162,29 +157,37 @@ def no_transit_invariants(topology: Topology) -> List[object]:
     return invariants
 
 
-def _border_invariants(attachments, attachment_index) -> List[object]:
-    """Border placement: obligations live on each ISP-attached router's
-    own external session."""
-    tags = {
-        peer: ingress_community(attachment_index(peer)) for peer in attachments
-    }
+def _border_invariants(roles) -> List[object]:
+    """Border placement: obligations live on each transit-forbidden
+    attachment's own external session.
+
+    Tags are per *ISP*, not per attachment: every home of a multi-homed
+    ISP tags with (and is identified by) the same community, and its
+    egress filters forbid every *other* ISP's tag — an ISP's own routes
+    may legitimately come back out of its other home.
+    """
     invariants: List[object] = []
-    for peer in attachments:
+    tags = {
+        index: ingress_community(index) for index in roles.indices()
+    }
+    for attachment in roles.transit_forbidden():
         invariants.append(
             IngressTagInvariant(
-                router=peer.router,
-                neighbor_ip=peer.peer_ip,
-                community=tags[peer],
+                router=attachment.router,
+                neighbor_ip=attachment.peer.peer_ip,
+                community=tags[attachment.index],
             )
         )
         forbidden = frozenset(
-            tag for other, tag in tags.items() if other is not peer
+            tag
+            for index, tag in tags.items()
+            if index != attachment.index
         )
         if forbidden:
             invariants.append(
                 EgressFilterInvariant(
-                    router=peer.router,
-                    neighbor_ip=peer.peer_ip,
+                    router=attachment.router,
+                    neighbor_ip=attachment.peer.peer_ip,
                     forbidden=forbidden,
                 )
             )

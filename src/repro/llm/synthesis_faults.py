@@ -47,6 +47,7 @@ from ..netmodel.routing_policy import (
 from ..topology.families import is_hub_star, isp_attachments
 from ..topology.generator import ingress_community
 from ..topology.model import Topology
+from ..topology.roles import egress_map_of, ingress_map_of
 from .faults import Fault, FaultTargetError
 
 __all__ = [
@@ -127,10 +128,22 @@ def border_fault_assignment(topology: Topology) -> Dict[str, List[str]]:
         if router in assignment:
             assignment[router].extend(keys)
 
+    # Addressed faults land only where their target artifact exists:
+    # on an irregular (random/waxman) graph R2 may announce no link
+    # subnet and R3 may carry no external interface, and assigning a
+    # fault with no target would abort the draft with FaultTargetError.
+    network_targets = _link_network_targets(topology)
+    neighbor_targets = _internal_neighbor_targets(topology)
+    interface_targets = _interface_targets(topology)
     put("R1", "cli_keywords", "extra_network", "extra_neighbor")
-    put("R2", "cli_keywords", "wrong_router_id", "missing_neighbor",
-        "missing_network")
-    put("R3", "wrong_local_as", "wrong_interface_ip")
+    put("R2", "cli_keywords", "wrong_router_id")
+    if "R2" in neighbor_targets:
+        put("R2", "missing_neighbor")
+    if "R2" in network_targets:
+        put("R2", "missing_network")
+    put("R3", "wrong_local_as")
+    if "R3" in interface_targets:
+        put("R3", "wrong_interface_ip")
     and_or_router, _ = _and_or_owner(topology)
     put(and_or_router, "and_or_semantics")
     if "R3" in isp_routers:
@@ -218,8 +231,10 @@ def _and_or_owner(topology: Topology) -> Tuple[str, str]:
 
     Star: the hub owns every egress map; §4.2's example corrupts
     ``FILTER_COMM_OUT_R2``.  Border: the map lives on its own router —
-    R2 when R2 carries an ISP, else the first ISP-attached router (the
-    dumbbell's cores are ISP-free).
+    R2 when R2 carries an attachment, else the first attached router
+    (the dumbbell's cores are attachment-free) — and is named for the
+    attachment's community slot, which under multi-homing need not
+    equal the router index.
     """
     if is_hub_star(topology):
         return "R1", "FILTER_COMM_OUT_R2"
@@ -230,8 +245,23 @@ def _and_or_owner(topology: Topology) -> Tuple[str, str]:
         owner = isp_routers[0]
     else:
         owner = "R2"
-    digits = "".join(char for char in owner if char.isdigit())
-    return owner, f"FILTER_COMM_OUT_R{digits}"
+    return owner, egress_map_of(topology, owner) or "FILTER_COMM_OUT_R2"
+
+
+def _resolve_map(
+    topology: Topology, router: str, direction: str, fallback: str
+) -> str:
+    """The actual ingress/egress map name on ``router``'s attachment.
+
+    The star's spoke-indexed names happen to coincide with the slot
+    resolution (spoke Rj's maps are named for slot j), so one helper
+    serves both placements; routers without an attachment keep the
+    historical literal — their faults are never assigned there anyway.
+    """
+    resolver = ingress_map_of if direction == "ingress" else egress_map_of
+    if is_hub_star(topology):
+        return fallback
+    return resolver(topology, router) or fallback
 
 
 def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
@@ -277,7 +307,12 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             text_transform=lambda text: "ip routing\n" + text,
         )
     )
-    inline_target = f"FILTER_COMM_OUT_R{min(6, router_count)}"
+    inline_target = _resolve_map(
+        topology,
+        f"R{min(6, router_count)}",
+        "egress",
+        f"FILTER_COMM_OUT_R{min(6, router_count)}",
+    )
     faults.append(
         Fault(
             key="inline_match_community",
@@ -291,9 +326,14 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             ir_transform=_make_inline_match(inline_target),
         )
     )
-    last_spoke = router_count
+    misplaced_map = _resolve_map(
+        topology,
+        f"R{router_count}",
+        "egress",
+        f"FILTER_COMM_OUT_R{router_count}",
+    )
     misplaced_pattern = (
-        rf"neighbor \S+ route-map FILTER_COMM_OUT_R{last_spoke} out"
+        rf"neighbor \S+ route-map {re.escape(misplaced_map)} out"
     )
     faults.append(
         Fault(
@@ -308,7 +348,7 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
                 'the "router bgp" block. Move the neighbor route-map '
                 "statement back inside the router bgp block."
             ),
-            text_transform=_make_misplace_neighbor(last_spoke),
+            text_transform=_make_misplace_neighbor(misplaced_map),
         )
     )
 
@@ -410,26 +450,29 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             ir_transform=_merge_deny_clauses(and_or_map),
         )
     )
+    egress_target = _resolve_map(topology, "R4", "egress", "FILTER_COMM_OUT_R4")
     faults.append(
         Fault(
             key="egress_permits_tagged",
             label="Egress filter passes a tagged route",
             category=ErrorCategory.SEMANTIC,
             fixable_by_generated_prompt=True,
-            prompt_patterns=(r"FILTER_COMM_OUT_R4",),
-            ir_transform=_drop_first_deny("FILTER_COMM_OUT_R4"),
+            prompt_patterns=(re.escape(egress_target),),
+            ir_transform=_drop_first_deny(egress_target),
         )
     )
+    ingress_target = _resolve_map(topology, "R5", "ingress", "ADD_COMM_R5")
     faults.append(
         Fault(
             key="missing_ingress_tag",
             label="Ingress map does not add the community",
             category=ErrorCategory.SEMANTIC,
             fixable_by_generated_prompt=True,
-            prompt_patterns=(r"ADD_COMM_R5",),
-            ir_transform=_drop_ingress_sets("ADD_COMM_R5"),
+            prompt_patterns=(re.escape(ingress_target),),
+            ir_transform=_drop_ingress_sets(ingress_target),
         )
     )
+    non_additive_target = _resolve_map(topology, "R3", "ingress", "ADD_COMM_R3")
     faults.append(
         Fault(
             key="non_additive_set_community",
@@ -437,7 +480,7 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             category=ErrorCategory.SEMANTIC,
             fixable_by_generated_prompt=True,
             prompt_patterns=(r"additive", r"non-additively"),
-            ir_transform=_make_non_additive("ADD_COMM_R3"),
+            ir_transform=_make_non_additive(non_additive_target),
         )
     )
     return {fault.key: fault for fault in faults}
@@ -478,9 +521,9 @@ def _make_inline_match(map_name: str):
     return transform
 
 
-def _make_misplace_neighbor(last_spoke: int):
+def _make_misplace_neighbor(map_name: str):
     pattern = re.compile(
-        rf"^ neighbor (\S+) route-map FILTER_COMM_OUT_R{last_spoke} out$",
+        rf"^ neighbor (\S+) route-map {re.escape(map_name)} out$",
         re.MULTILINE,
     )
 
@@ -489,7 +532,7 @@ def _make_misplace_neighbor(last_spoke: int):
         if match is None:
             raise FaultTargetError(
                 f"misplaced_neighbor_command: no 'neighbor ... route-map "
-                f"FILTER_COMM_OUT_R{last_spoke} out' line in this draft"
+                f"{map_name} out' line in this draft"
             )
         line = match.group(0)
         without = pattern.sub("", text, count=1)

@@ -45,6 +45,7 @@ __all__ = [
     "PolicyContext",
     "PolicyResult",
     "PolicyEvaluationError",
+    "PreparedRouteMap",
 ]
 
 
@@ -366,6 +367,16 @@ class RouteMap:
                 return PolicyResult(Action.PERMIT, transformed, clause.seq)
         return PolicyResult(Action.DENY, route, None)
 
+    def prepare(self, context: PolicyContext) -> "PreparedRouteMap":
+        """Bind the map to a context once for batch evaluation.
+
+        Resolves every named structure (prefix/community/AS-path/access
+        lists) through the context up front, so evaluating a batch of
+        routes — e.g. a whole RIB exported across one BGP session —
+        pays the name resolution once instead of once per route.
+        """
+        return PreparedRouteMap(self, context)
+
     def referenced_prefix_lists(self) -> List[str]:
         """Names of prefix lists this map depends on."""
         names = []
@@ -383,6 +394,102 @@ class RouteMap:
                 if isinstance(condition, MatchCommunityList):
                     names.append(condition.name)
         return names
+
+
+class PreparedRouteMap:
+    """A route map bound to one policy context for batch evaluation.
+
+    Name resolution (the per-route dictionary walks in
+    ``MatchPrefixList``/``MatchCommunityList``/... ) happens once at
+    construction; evaluating a route then touches only the resolved
+    structures.  Undefined names are *not* an eager error: evaluation
+    raises :class:`PolicyEvaluationError` only when the offending
+    condition is actually consulted, because an earlier condition in
+    the same clause may short-circuit it — exactly as
+    :meth:`RouteMap.evaluate` behaves route by route.
+    """
+
+    def __init__(self, route_map: "RouteMap", context: PolicyContext) -> None:
+        self._route_map = route_map
+        self._clauses = [
+            (
+                clause,
+                [self._bind(condition, context) for condition in clause.matches],
+            )
+            for clause in route_map.clauses
+        ]
+
+    @property
+    def name(self) -> str:
+        return self._route_map.name
+
+    @staticmethod
+    def _bind(condition: MatchCondition, context: PolicyContext):
+        if isinstance(condition, MatchPrefixList):
+            resolved = context.get_prefix_list(condition.name)
+            if resolved is not None:
+                exact = _exact_permit_set(resolved)
+                if exact is not None:
+                    # The common reference shape — a few exact permit
+                    # lines — collapses to one hash-set membership test.
+                    return lambda route: route.prefix in exact
+                return lambda route: resolved.permits(route.prefix)
+            return _undefined_raiser("prefix-list", condition.name)
+        if isinstance(condition, MatchCommunityList):
+            resolved = context.get_community_list(condition.name)
+            if resolved is not None:
+                return lambda route: resolved.permits(route.communities)
+            return _undefined_raiser("community-list", condition.name)
+        if isinstance(condition, MatchAsPathList):
+            resolved = context.get_as_path_list(condition.name)
+            if resolved is not None:
+                return lambda route: resolved.permits(route.as_path)
+            return _undefined_raiser("as-path list", condition.name)
+        if isinstance(condition, MatchAcl):
+            resolved = context.get_access_list(condition.name)
+            if resolved is not None:
+                return lambda route: resolved.permits_prefix(route.prefix)
+            return _undefined_raiser("access-list", condition.name)
+        # Context-free conditions (inline communities, prefix ranges,
+        # protocol, future kinds): nothing to pre-resolve.
+        return lambda route: condition.matches(route, context)
+
+    def evaluate(self, route: Route) -> PolicyResult:
+        """Identical outcome to ``RouteMap.evaluate`` on the bound context."""
+        for clause, matchers in self._clauses:
+            fired = True
+            for matcher in matchers:  # plain loop: no genexpr frames
+                if not matcher(route):
+                    fired = False
+                    break
+            if not fired:
+                continue
+            if clause.action is Action.DENY:
+                return PolicyResult(Action.DENY, route, clause.seq)
+            transformed = route
+            for set_action in clause.sets:
+                transformed = set_action.apply(transformed)
+            return PolicyResult(Action.PERMIT, transformed, clause.seq)
+        return PolicyResult(Action.DENY, route, None)
+
+
+def _undefined_raiser(kind: str, name: str):
+    def raiser(route: Route) -> bool:
+        raise PolicyEvaluationError(f"undefined {kind} {name!r}")
+
+    return raiser
+
+
+def _exact_permit_set(prefix_list: PrefixList):
+    """The list's prefixes as a frozenset, when that is faithful: every
+    entry an exact-length permit (first-match-wins degenerates to set
+    membership because no entry can shadow another's verdict)."""
+    members = []
+    for entry in prefix_list.entries:
+        if entry.action != "permit" or not entry.range.is_exact():
+            return None
+        members.append(entry.range.prefix)
+    return frozenset(members)
 
 
 def permit_all(name: str) -> RouteMap:

@@ -51,17 +51,21 @@ from .model import (
     RouterSpec,
     Topology,
 )
+from .roles import attachment_isp_index
 
 __all__ = [
     "FAMILIES",
     "GeneratedNetwork",
+    "SEEDED_FAMILIES",
     "attachment_index",
     "customer_attachment",
     "generate_chain_network",
     "generate_dumbbell_network",
     "generate_mesh_network",
     "generate_network",
+    "generate_random_network",
     "generate_ring_network",
+    "generate_waxman_network",
     "is_hub_star",
     "isp_attachments",
 ]
@@ -72,11 +76,17 @@ MAX_SIZE = 22  # keeps the mesh's 10.k.0.0/24 link numbering in one octet
 
 @dataclass
 class GeneratedNetwork:
-    """Generator output: topology, prose description, and family name."""
+    """Generator output: topology, prose description, and family name.
+
+    Seeded families (random/waxman) also record the seed and the role
+    spec they placed; the hand-shaped families leave both at their
+    defaults."""
 
     topology: Topology
     description: str
     family: str
+    seed: Optional[int] = None
+    roles: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -87,7 +97,7 @@ class GeneratedNetwork:
 
 
 def customer_attachment(topology: Topology) -> Optional[ExternalPeer]:
-    """The CUSTOMER external peer, or None if the topology has none."""
+    """The first CUSTOMER external peer, or None if there is none."""
     for peer in topology.externals:
         if peer.peer_name == "CUSTOMER":
             return peer
@@ -95,25 +105,20 @@ def customer_attachment(topology: Topology) -> Optional[ExternalPeer]:
 
 
 def isp_attachments(topology: Topology) -> List[ExternalPeer]:
-    """Every non-CUSTOMER external attachment, in router order."""
+    """Every transit-forbidden external attachment (ISPs and PEERs —
+    everything that is not a customer), in router order."""
     peers = [
-        peer for peer in topology.externals if peer.peer_name != "CUSTOMER"
+        peer
+        for peer in topology.externals
+        if not peer.peer_name.startswith("CUSTOMER")
     ]
     order = {name: rank for rank, name in enumerate(topology.router_names())}
     return sorted(peers, key=lambda peer: (order[peer.router], peer.peer_name))
 
 
-def attachment_index(peer: ExternalPeer) -> int:
-    """The numeric index of an ISP attachment (``ISP_5`` -> 5).
-
-    Falls back to the attached router's index so custom peer names still
-    get a deterministic community slot.
-    """
-    for name in (peer.peer_name, peer.router):
-        digits = "".join(char for char in name if char.isdigit())
-        if digits:
-            return int(digits)
-    raise ValueError(f"cannot derive an index for attachment {peer!r}")
+# Single implementation of the community-slot derivation; re-exported
+# here under its historical name for existing callers.
+attachment_index = attachment_isp_index
 
 
 def is_hub_star(topology: Topology) -> bool:
@@ -193,53 +198,80 @@ class _Builder:
             )
         )
 
-    def attach_customer(self, index: int = 1) -> None:
+    def attach_customer(self, index: int = 1, ordinal: int = 1) -> None:
+        """Attach customer ``ordinal`` (1-based) to router ``R<index>``.
+
+        The first customer keeps the classic name/subnet (``CUSTOMER``
+        on ``100.0.0.0/24``, AS 65001); customer ``c`` is
+        ``CUSTOMER_c`` on ``100.(c-1).0.0/24`` with AS ``65000 + c``.
+        """
         router_name = f"R{index}"
         spec = self.topology.router(router_name)
-        subnet = Prefix.parse(CUSTOMER_SUBNET)
-        address = Ipv4Address.parse("100.0.0.1")
-        peer_ip = Ipv4Address.parse("100.0.0.2")
+        subnet = (
+            Prefix.parse(CUSTOMER_SUBNET)
+            if ordinal == 1
+            else Prefix.parse(f"100.{ordinal - 1}.0.0/24")
+        )
+        address = Ipv4Address.parse(f"100.{ordinal - 1}.0.1")
+        peer_ip = Ipv4Address.parse(f"100.{ordinal - 1}.0.2")
+        peer_name = "CUSTOMER" if ordinal == 1 else f"CUSTOMER_{ordinal}"
+        peer_asn = CUSTOMER_ASN + (ordinal - 1)
         interface = self._next_interface(router_name)
         spec.interfaces.append(
             InterfaceSpec(name=interface, address=address, prefix=subnet)
         )
         spec.neighbors.append(
-            NeighborSpec(ip=peer_ip, asn=CUSTOMER_ASN, peer_name="CUSTOMER")
+            NeighborSpec(ip=peer_ip, asn=peer_asn, peer_name=peer_name)
         )
         spec.networks.append(subnet)
         self.topology.externals.append(
             ExternalPeer(
                 router=router_name,
                 interface=interface,
-                peer_name="CUSTOMER",
+                peer_name=peer_name,
                 peer_ip=peer_ip,
-                peer_asn=CUSTOMER_ASN,
+                peer_asn=peer_asn,
             )
         )
 
-    def attach_isp(self, index: int) -> None:
+    def attach_isp(
+        self,
+        index: int,
+        isp_index: Optional[int] = None,
+        home: int = 1,
+        peer: bool = False,
+    ) -> None:
+        """Attach one home of ISP/peer ``isp_index`` to ``R<index>``.
+
+        ``isp_index`` defaults to the router's own index (the legacy
+        single-homed convention); ``home`` numbers the attachment
+        subnets of a multi-homed ISP (``200.j.(home-1).0/24`` — home 1
+        keeps the classic ``200.j.0.0/24``); ``peer=True`` names the
+        attachment ``PEER_j``: transit-forbidden like an ISP, but with
+        no customer-reachability obligation.
+        """
         router_name = f"R{index}"
+        isp = index if isp_index is None else isp_index
         spec = self.topology.router(router_name)
-        subnet = Prefix.parse(f"200.{index}.0.0/24")
-        address = Ipv4Address.parse(f"200.{index}.0.1")
-        peer_ip = Ipv4Address.parse(f"200.{index}.0.2")
+        subnet = Prefix.parse(f"200.{isp}.{home - 1}.0/24")
+        address = Ipv4Address.parse(f"200.{isp}.{home - 1}.1")
+        peer_ip = Ipv4Address.parse(f"200.{isp}.{home - 1}.2")
+        peer_name = f"{'PEER' if peer else 'ISP'}_{isp}"
         interface = self._next_interface(router_name)
         spec.interfaces.append(
             InterfaceSpec(name=interface, address=address, prefix=subnet)
         )
         spec.neighbors.append(
-            NeighborSpec(
-                ip=peer_ip, asn=1000 + index, peer_name=f"ISP_{index}"
-            )
+            NeighborSpec(ip=peer_ip, asn=1000 + isp, peer_name=peer_name)
         )
         spec.networks.append(subnet)
         self.topology.externals.append(
             ExternalPeer(
                 router=router_name,
                 interface=interface,
-                peer_name=f"ISP_{index}",
+                peer_name=peer_name,
                 peer_ip=peer_ip,
-                peer_asn=1000 + index,
+                peer_asn=1000 + isp,
             )
         )
 
@@ -329,20 +361,60 @@ def _generate_star(size: int) -> GeneratedNetwork:
     )
 
 
-FAMILIES: Dict[str, Callable[[int], GeneratedNetwork]] = {
+from .randomnet import (  # noqa: E402  (needs _Builder defined above)
+    generate_random_network,
+    generate_waxman_network,
+)
+
+FAMILIES: Dict[str, Callable[..., GeneratedNetwork]] = {
     "star": _generate_star,
     "chain": generate_chain_network,
     "ring": generate_ring_network,
     "mesh": generate_mesh_network,
     "dumbbell": generate_dumbbell_network,
+    "random": generate_random_network,
+    "waxman": generate_waxman_network,
 }
 
+# Families whose generator takes (size, seed, roles, params); the
+# hand-shaped families take only a size and reject the other axes.
+SEEDED_FAMILIES = frozenset({"random", "waxman"})
 
-def generate_network(family: str, size: int) -> GeneratedNetwork:
-    """Generate one network of the named family."""
+
+def generate_network(
+    family: str,
+    size: int,
+    seed: int = 0,
+    roles: "object | str | None" = None,
+    params: "Dict[str, float] | str | None" = None,
+) -> GeneratedNetwork:
+    """Generate one network of the named family.
+
+    ``seed``, ``roles`` (a :class:`~repro.topology.roles.RoleSpec` or
+    its string form, e.g. ``c2i3h2``), and ``params`` (family knobs,
+    e.g. ``p=0.4`` or ``alpha=0.5,beta=0.7``) apply to the seeded
+    random families only; the hand-shaped families are fully determined
+    by their size and reject non-default values rather than silently
+    ignoring them.
+    """
     try:
         generator = FAMILIES[family]
     except KeyError:
         known = ", ".join(sorted(FAMILIES))
         raise ValueError(f"unknown family {family!r} (known: {known})") from None
+    if family in SEEDED_FAMILIES:
+        return generator(size, seed=seed, roles=roles, params=params)
+    from .randomnet import parse_topo_params
+    from .roles import RoleSpec
+
+    if RoleSpec.coerce(roles) is not None:
+        raise ValueError(
+            f"family {family!r} has a fixed role layout; role specs "
+            f"apply to the seeded families ({', '.join(sorted(SEEDED_FAMILIES))})"
+        )
+    if parse_topo_params(params):
+        raise ValueError(
+            f"family {family!r} takes no topology knobs; knobs apply to "
+            f"the seeded families ({', '.join(sorted(SEEDED_FAMILIES))})"
+        )
     return generator(size)

@@ -169,7 +169,9 @@ def _describe(topology: Topology) -> str:
     sentences: List[str] = []
     names = topology.router_names()
     kind = topology.name.split("-")[0]
-    if kind not in ("star", "chain", "ring", "mesh", "dumbbell"):
+    if kind not in (
+        "star", "chain", "ring", "mesh", "dumbbell", "random", "waxman"
+    ):
         kind = "network"
     sentences.append(
         f"The network is a {kind} of {len(names)} routers named "

@@ -28,7 +28,12 @@ through which all transit flows, so the same mechanism moves to the
 Communities are never stripped in between (all sets are additive), so
 the local obligations compose into the global no-transit property on
 any internal graph.  :func:`build_reference_configs` dispatches on
-:func:`~repro.topology.families.is_hub_star`.
+:func:`~repro.topology.families.is_hub_star`; the border path follows
+the topology's :class:`~repro.topology.roles.RoleAssignment`, so map
+names key on the attachment's *community slot* (both homes of a
+multi-homed ISP share one tag) and a router may host several
+attachments, each with its own tag/filter pair, under one multi-clause
+core-export map.
 """
 
 from __future__ import annotations
@@ -49,9 +54,10 @@ from ..netmodel.routing_policy import (
     RouteMapClause,
     SetCommunity,
 )
-from .families import attachment_index, is_hub_star, isp_attachments
+from .families import is_hub_star
 from .generator import ingress_community
-from .model import ExternalPeer, RouterSpec, Topology
+from .model import RouterSpec, Topology
+from .roles import RoleAssignment, RoleAttachment
 
 __all__ = [
     "build_border_config",
@@ -105,12 +111,11 @@ def build_reference_configs(topology: Topology) -> Dict[str, RouterConfig]:
             else:
                 configs[name] = build_spoke_config(spec)
         return configs
-    attachments = isp_attachments(topology)
-    attachment_of = {peer.router: peer for peer in attachments}
+    roles = RoleAssignment.from_topology(topology)
     for name in topology.router_names():
         spec = topology.router(name)
         configs[name] = build_border_config(
-            spec, attachment_of.get(name), attachments
+            spec, roles.attachments_of(name), roles
         )
     return configs
 
@@ -198,24 +203,26 @@ def _egress_map(index: int, spoke_indices: List[int]) -> RouteMap:
 
 def build_border_config(
     spec: RouterSpec,
-    attachment: "ExternalPeer | None",
-    attachments: List[ExternalPeer],
+    attachments: List[RoleAttachment],
+    roles: RoleAssignment,
 ) -> RouterConfig:
-    """One router of a border-policy family.
+    """One router of a border-policy (role-assigned) topology.
 
-    Routers without an ISP attachment (the customer router, the
-    dumbbell cores) are plain spokes; ISP-attached routers carry the
-    full tag/filter policy on their own external session plus the
-    prefix-list-scoped tagging of their ISP subnet toward the core.
+    Routers without a transit-forbidden attachment (customer routers,
+    the dumbbell cores, plain transit routers) are spokes; each
+    ISP/peer attachment a router hosts carries the full tag/filter
+    policy on its own external session plus the prefix-list-scoped
+    tagging of that attachment's subnet toward the core.  Map names are
+    keyed by the attachment's *community slot* (``ADD_COMM_Rj`` for
+    ISP/peer ``j``), so both homes of a multi-homed ISP share one tag —
+    which is what makes the no-transit argument per-ISP rather than
+    per-border-router.
     """
     config = build_spoke_config(spec)
-    if attachment is None:
+    if not attachments:
         return config
-    index = attachment_index(attachment)
-    tag = ingress_community(index)
-    other_indices = []
-    for peer in attachments:
-        peer_index = attachment_index(peer)
+    all_indices = roles.indices()
+    for peer_index in all_indices:
         community_list = CommunityList(str(community_list_number(peer_index)))
         community_list.add(
             CommunityListEntry(
@@ -223,38 +230,53 @@ def build_border_config(
             )
         )
         config.add_community_list(community_list)
-        if peer_index != index:
-            other_indices.append(peer_index)
-    isp_subnet = spec.interface(attachment.interface)
-    assert isp_subnet is not None
-    prefix_list = PrefixList(isp_prefix_list_name(index))
-    prefix_list.add("permit", PrefixRange.exact(isp_subnet.prefix))
-    config.add_prefix_list(prefix_list)
-    config.add_route_map(_ingress_map(index))
-    config.add_route_map(_egress_map(index, sorted(other_indices + [index])))
-    config.add_route_map(_core_export_map(index))
     assert config.bgp is not None
-    for neighbor in config.bgp.neighbors.values():
-        if neighbor.ip == attachment.peer_ip:
+    for attachment in attachments:
+        index = attachment.index
+        isp_subnet = spec.interface(attachment.peer.interface)
+        assert isp_subnet is not None
+        prefix_list = PrefixList(isp_prefix_list_name(index))
+        prefix_list.add("permit", PrefixRange.exact(isp_subnet.prefix))
+        config.add_prefix_list(prefix_list)
+        config.add_route_map(_ingress_map(index))
+        config.add_route_map(_egress_map(index, all_indices))
+        neighbor = config.bgp.get_neighbor(attachment.peer.peer_ip)
+        if neighbor is not None:
             neighbor.import_policy = ingress_map_name(index)
             neighbor.export_policy = egress_map_name(index)
+    core_export = _core_export_map(attachments)
+    config.add_route_map(core_export)
+    external_ips = {attachment.peer.peer_ip for attachment in attachments}
+    for neighbor in config.bgp.neighbors.values():
+        if neighbor.ip in external_ips:
             continue
         peer = spec.neighbor_with_ip(neighbor.ip)
         if peer is not None and peer.peer_name.startswith("R"):
-            neighbor.export_policy = core_export_map_name(index)
+            neighbor.export_policy = core_export.name
     return config
 
 
-def _core_export_map(index: int) -> RouteMap:
-    """``EXPORT_CORE_Ri``: tag the router's own ISP subnet (matched via
-    its prefix-list) when advertising into the core; pass everything
-    else untouched."""
-    route_map = RouteMap(core_export_map_name(index))
-    tagging = RouteMapClause(seq=10, action=Action.PERMIT)
-    tagging.matches.append(MatchPrefixList(isp_prefix_list_name(index)))
-    tagging.sets.append(SetCommunity((ingress_community(index),), additive=True))
-    route_map.add_clause(tagging)
-    route_map.add_clause(RouteMapClause(seq=20, action=Action.PERMIT))
+def _core_export_map(attachments: List[RoleAttachment]) -> RouteMap:
+    """``EXPORT_CORE_Rj``: tag each hosted attachment's subnet (matched
+    via its prefix-list) when advertising into the core; pass
+    everything else untouched.  A router hosting several attachments
+    gets one map (named for the first slot) with one tagging clause per
+    attachment."""
+    route_map = RouteMap(core_export_map_name(attachments[0].index))
+    seq = 10
+    for attachment in attachments:
+        tagging = RouteMapClause(seq=seq, action=Action.PERMIT)
+        tagging.matches.append(
+            MatchPrefixList(isp_prefix_list_name(attachment.index))
+        )
+        tagging.sets.append(
+            SetCommunity(
+                (ingress_community(attachment.index),), additive=True
+            )
+        )
+        route_map.add_clause(tagging)
+        seq += 10
+    route_map.add_clause(RouteMapClause(seq=seq, action=Action.PERMIT))
     return route_map
 
 

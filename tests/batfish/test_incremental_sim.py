@@ -16,9 +16,11 @@ import pytest
 from repro.batfish.bgpsim import (
     BgpSimulation,
     SimulationState,
+    batched_evaluation_enabled,
     incremental_simulation_enabled,
     reset_sim_stats,
     rib_snapshots,
+    set_batched_evaluation,
     set_incremental_simulation,
     sim_totals,
 )
@@ -260,6 +262,165 @@ class TestSimulationState:
         assert totals["full_runs"] == 1
         assert totals["incremental_runs"] == 1
         assert totals["full_evaluations"] > 0
+
+
+class TestExplicitDeltas:
+    """Callers that know what they changed skip fingerprint diffing."""
+
+    def test_explicit_delta_skips_fingerprinting(self):
+        topology, configs = _network("mesh")
+        checker = IncrementalGlobalChecker()
+        checker.simulate(copy.deepcopy(configs))
+        assert checker._fingerprints  # baseline derived on the full run
+        rng = random.Random(5)
+        broken = copy.deepcopy(configs)
+        assert _replace_filter_with_permit_all(broken["R3"], rng)
+        checker.simulate(copy.deepcopy(broken), {"R3"})
+        assert checker.last_stats.incremental
+        assert checker.last_stats.dirty_routers == 1
+        assert checker._fingerprints is None  # never computed
+
+    def test_explicit_then_derived_falls_back_to_full(self):
+        """A derived call after an explicit one must not trust the
+        stale fingerprint baseline — it re-converges fully instead."""
+        topology, configs = _network("ring")
+        checker = IncrementalGlobalChecker()
+        check_global_no_transit(
+            copy.deepcopy(configs), topology, checker=checker
+        )
+        rng = random.Random(9)
+        edited = copy.deepcopy(configs)
+        assert _replace_filter_with_permit_all(edited["R4"], rng)
+        check_global_no_transit(
+            copy.deepcopy(edited), topology,
+            checker=checker, changed_routers={"R4"},
+        )
+        assert checker.last_stats.incremental
+        verdict = check_global_no_transit(
+            copy.deepcopy(configs), topology, checker=checker
+        )
+        assert checker.last_stats.mode == "full"
+        assert verdict.holds
+
+    def test_explicit_delta_matches_cold_verdict(self):
+        topology, configs = _network("chain")
+        checker = IncrementalGlobalChecker()
+        check_global_no_transit(
+            copy.deepcopy(configs), topology, checker=checker
+        )
+        rng = random.Random(2)
+        edited = copy.deepcopy(configs)
+        assert _drop_first_deny(edited["R3"], rng)
+        warm = check_global_no_transit(
+            copy.deepcopy(edited), topology,
+            checker=checker, changed_routers={"R3"},
+        )
+        reset_simulation_states()
+        cold = check_global_no_transit(copy.deepcopy(edited), topology)
+        assert warm.holds == cold.holds
+        assert warm.describe() == cold.describe()
+
+    def test_registry_ignores_explicit_deltas(self):
+        """The process-local registry is shared state: a caller's
+        private delta must not steer it (a wrong delta would corrupt
+        every later caller's verdicts)."""
+        topology, configs = _network("star")
+        check_global_no_transit(copy.deepcopy(configs), topology)
+        rng = random.Random(4)
+        edited = copy.deepcopy(configs)
+        _announce_extra_network(edited["R2"], rng)
+        # Lie about the delta: claim nothing changed.  The registry
+        # path must fingerprint anyway and still find R2.
+        check_global_no_transit(
+            copy.deepcopy(edited), topology, changed_routers=set()
+        )
+        stats = last_global_sim_stats()
+        assert stats.incremental
+        assert stats.dirty_routers == 1
+
+
+class TestRoledDifferential:
+    """The differential contract extends to role-assigned networks:
+    multi-homed ISPs and multiple customers (the FAMILIES-parametrized
+    tests above already cover random/waxman under their default
+    single-homed role layout)."""
+
+    @pytest.mark.parametrize("family", ["random", "waxman"])
+    @pytest.mark.parametrize("roles", ["c2i2h2", "c1i2h1p1"])
+    def test_edit_sequence_matches_from_scratch(self, family, roles):
+        net = generate_network(family, 9, seed=3, roles=roles)
+        topology = net.topology
+        reference = build_reference_configs(topology)
+        rng = random.Random(zlib.crc32(f"{family}:{roles}".encode()))
+        current = copy.deepcopy(reference)
+        state = SimulationState(copy.deepcopy(current))
+        for _step in range(4):
+            nxt = copy.deepcopy(current)
+            router = rng.choice(sorted(nxt))
+            mutation = rng.choice(MUTATIONS)
+            if not mutation(nxt[router], rng):
+                _announce_extra_network(nxt[router], rng)
+            stats = state.resimulate(copy.deepcopy(nxt), {router})
+            assert stats.incremental
+            _assert_matches_full(state, nxt, topology)
+            current = nxt
+
+
+class TestBatchedEvaluation:
+    """Per-session batched policy evaluation must never change a RIB."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_batched_equals_per_entry(self, family):
+        _topology, configs = _network(family)
+        assert batched_evaluation_enabled()
+        batched = BgpSimulation(copy.deepcopy(configs))
+        batched.run()
+        set_batched_evaluation(False)
+        try:
+            per_entry = BgpSimulation(copy.deepcopy(configs))
+            per_entry.run()
+        finally:
+            set_batched_evaluation(True)
+        assert rib_snapshots(batched) == rib_snapshots(per_entry)
+        assert batched.evaluations == per_entry.evaluations
+
+    def test_undefined_list_behaves_lazily_like_evaluate(self):
+        """A clause referencing an undefined list must only reject the
+        routes that actually consult it — batch preparation must not
+        turn the lazy per-route error into an eager one."""
+        from repro.netmodel.ip import Prefix
+        from repro.netmodel.route import Route
+        from repro.netmodel.routing_policy import (
+            MatchCommunityList,
+            MatchPrefixList,
+            PolicyEvaluationError,
+            RouteMap,
+            RouteMapClause,
+        )
+        from repro.netmodel.device import RouterConfig, Vendor
+        from repro.netmodel.prefixlist import PrefixList
+        from repro.netmodel.ip import PrefixRange
+
+        config = RouterConfig(hostname="X", vendor=Vendor.CISCO)
+        narrow = PrefixList("NARROW")
+        narrow.add("permit", PrefixRange.exact(Prefix.parse("10.0.0.0/24")))
+        config.add_prefix_list(narrow)
+        route_map = RouteMap("MIXED")
+        guarded = RouteMapClause(seq=10, action=Action.DENY)
+        guarded.matches.append(MatchPrefixList("NARROW"))
+        guarded.matches.append(MatchCommunityList("UNDEFINED"))
+        route_map.add_clause(guarded)
+        route_map.add_clause(RouteMapClause(seq=20, action=Action.PERMIT))
+        misses = Route(prefix=Prefix.parse("99.0.0.0/24"))
+        hits = Route(prefix=Prefix.parse("10.0.0.0/24"))
+        prepared = route_map.prepare(config)
+        assert prepared.evaluate(misses).action is Action.PERMIT
+        with pytest.raises(PolicyEvaluationError):
+            prepared.evaluate(hits)
+        # identical to the per-route path
+        assert route_map.evaluate(misses, config).action is Action.PERMIT
+        with pytest.raises(PolicyEvaluationError):
+            route_map.evaluate(hits, config)
 
 
 class TestWarmGlobalCheck:

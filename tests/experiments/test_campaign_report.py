@@ -15,6 +15,7 @@ from repro.experiments.campaign import (
     build_grid,
     run_campaign,
     summary_from_journal,
+    summary_from_journals,
 )
 
 GRID_ARGS = dict(families=["chain", "star"], sizes=[4], seeds=2)
@@ -174,6 +175,91 @@ class TestReportCli:
         assert code == 2
         err = capsys.readouterr().err
         assert "--families" in err and "--sizes" in err
+
+
+class TestMultiJournalMerge:
+    """--report accepts several journals and merges them into one
+    cross-campaign summary: duplicate keys last-write-wins, output
+    deterministic."""
+
+    @pytest.fixture(scope="class")
+    def journals(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("merge")
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        run_campaign(build_grid(["chain"], [4], seeds=2), journal_path=first)
+        # second campaign overlaps on one scenario (chain:4:1) and adds
+        # a new family
+        run_campaign(
+            build_grid(["chain"], [4], seeds=2)[1:]
+            + build_grid(["star"], [4], seeds=1),
+            journal_path=second,
+        )
+        return tmp_path, first, second
+
+    def test_merge_is_a_union_with_last_write_wins(self, journals):
+        _tmp, first, second = journals
+        merged = summary_from_journals([first, second])
+        keys = [
+            (row.family, row.size, row.seed) for row in merged.rows
+        ]
+        assert keys == [("chain", 4, 0), ("chain", 4, 1), ("star", 4, 0)]
+        assert merged.total == 3
+        assert not merged.incomplete
+        # the duplicated scenario keeps the later journal's record
+        duplicated = merged.rows[1]
+        later = summary_from_journal(second).rows[0]
+        assert duplicated == later
+
+    def test_merge_is_deterministic(self, journals, tmp_path):
+        _tmp, first, second = journals
+        once = summary_from_journals([first, second])
+        twice = summary_from_journals([first, second])
+        a = once.write_json(tmp_path / "a.json").read_bytes()
+        b = twice.write_json(tmp_path / "b.json").read_bytes()
+        assert a == b
+
+    def test_argument_order_controls_duplicates_and_order(self, journals):
+        _tmp, first, second = journals
+        forward = summary_from_journals([first, second])
+        backward = summary_from_journals([second, first])
+        assert {((r.family, r.seed)) for r in forward.rows} == {
+            ((r.family, r.seed)) for r in backward.rows
+        }
+        # reversed argument order reorders rows (first appearance wins)
+        assert [r.family for r in backward.rows] == ["chain", "star", "chain"]
+
+    def test_single_journal_path_unchanged(self, journals):
+        _tmp, first, _second = journals
+        assert summary_from_journals([first]).rows == summary_from_journal(
+            first
+        ).rows
+
+    def test_missing_journal_in_list_raises(self, journals, tmp_path):
+        _tmp, first, _second = journals
+        with pytest.raises(ValueError, match="does not exist"):
+            summary_from_journals([first, tmp_path / "nope.jsonl"])
+        with pytest.raises(ValueError, match="no journals"):
+            summary_from_journals([])
+
+    def test_cli_merges_repeated_report_flags(self, journals, tmp_path, capsys):
+        _tmp, first, second = journals
+        out_json = tmp_path / "merged.json"
+        code = main([
+            "campaign", "--report", str(first), "--report", str(second),
+            "--json", str(out_json),
+        ])
+        assert code == 0
+        data = json.loads(out_json.read_text())
+        assert data["scenarios"] == 3
+        assert set(data["families"]) == {"chain", "star"}
+
+    def test_cli_report_conflicts_with_roles_axis(self, capsys):
+        code = main([
+            "campaign", "--report", "a.jsonl", "--roles", "c2i2h1",
+        ])
+        assert code == 2
+        assert "--roles" in capsys.readouterr().err
 
 
 class TestWorkerToggles:
