@@ -47,7 +47,8 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..netmodel.device import RouterConfig
 from ..netmodel.ip import Ipv4Address, Prefix
-from ..netmodel.route import Protocol, Route
+from ..netmodel.route import Protocol, Route, route_model_is_v2
+from ..netmodel.routebuilder import RouteBuilder, export_route
 from ..netmodel.routing_policy import Action, PolicyEvaluationError
 from ..netmodel.aspath import AsPath
 
@@ -127,6 +128,14 @@ class BgpSimulation:
         # for the lifetime of a simulation, so each policy is bound to
         # its config once per convergence, not once per session visit.
         self._prepared: Dict[Tuple[int, str], object] = {}
+        # (sender, receiver) -> {prefix: (rib entry, candidate or None)}.
+        # Configs never change within one simulation and routes are
+        # immutable flyweights, so advertising the *same* RIB entry
+        # across a session is a pure function — the v2 datapath reuses
+        # the computed candidate (None = denied) until the sender's
+        # entry object is replaced, instead of re-running the export
+        # pipeline every fixpoint round.
+        self._advertised: Dict[Tuple[str, str], Dict[Prefix, Tuple]] = {}
 
     # -- topology derivation ---------------------------------------------------
 
@@ -333,8 +342,34 @@ class BgpSimulation:
         # Batched evaluation: bind each policy to its config once per
         # session batch, so the per-entry loop below pays no repeated
         # name resolution.  The toggle keeps the historical per-entry
-        # path alive for A/B benchmarking.
-        if _BATCH_ENABLED:
+        # path alive for A/B benchmarking.  Under route model v2 the
+        # policies *apply to a shared builder* (no intermediate route);
+        # v1 keeps the PolicyResult-returning evaluators.
+        v2 = route_model_is_v2()
+        if v2:
+            if _BATCH_ENABLED:
+                export_find = (
+                    self._prepared_policy(sender_config, export_map).find_clause
+                    if export_map is not None
+                    else None
+                )
+                import_find = (
+                    self._prepared_policy(receiver_config, import_map).find_clause
+                    if import_map is not None
+                    else None
+                )
+            else:
+                export_find = (
+                    (lambda route: export_map.find_clause(route, sender_config))
+                    if export_map is not None
+                    else None
+                )
+                import_find = (
+                    (lambda route: import_map.find_clause(route, receiver_config))
+                    if import_map is not None
+                    else None
+                )
+        elif _BATCH_ENABLED:
             export_eval = (
                 self._prepared_policy(sender_config, export_map).evaluate
                 if export_map is not None
@@ -356,6 +391,13 @@ class BgpSimulation:
                 if import_map is not None
                 else None
             )
+        sender_asn = sender_config.bgp.asn
+        receiver_asn = receiver_config.bgp.asn
+        if v2:
+            session_cache = self._advertised.get((sender, receiver))
+            if session_cache is None:
+                session_cache = {}
+                self._advertised[(sender, receiver)] = session_cache
         changed: Set[Prefix] = set()
         if prefixes is None:
             entries = list(self._ribs[sender].values())
@@ -372,27 +414,53 @@ class BgpSimulation:
             if entry.learned_from == receiver:
                 continue  # do not reflect a route back to its source
             self.evaluations += 1
-            advertised = entry.route
-            if export_eval is not None:
-                try:
-                    outcome = export_eval(advertised)
-                except PolicyEvaluationError:
+            if v2:
+                prefix = entry.route.prefix
+                cached = session_cache.get(prefix)
+                if cached is not None and cached[0] is entry:
+                    candidate = cached[1]
+                    if candidate is None:
+                        continue  # denied last time; entry unchanged
+                    if self._install(receiver, candidate):
+                        changed.add(prefix)
                     continue
-                if outcome.action is Action.DENY:
+                candidate = self._export_candidate(
+                    entry,
+                    export_find,
+                    import_find,
+                    sender,
+                    sender_asn,
+                    receiver_asn,
+                    session.local_ip,
+                )
+                session_cache[prefix] = (entry, candidate)
+                if candidate is None:
                     continue
-                advertised = outcome.route
-            advertised = advertised.with_as_prepended(sender_config.bgp.asn)
-            advertised = advertised.with_next_hop(session.local_ip)
-            if advertised.as_path.contains(receiver_config.bgp.asn):
-                continue  # AS-loop prevention
-            if import_eval is not None:
-                try:
-                    outcome = import_eval(advertised)
-                except PolicyEvaluationError:
-                    continue
-                if outcome.action is Action.DENY:
-                    continue
-                advertised = outcome.route
+                if self._install(receiver, candidate):
+                    changed.add(prefix)
+                continue
+            else:
+                advertised = entry.route
+                if export_eval is not None:
+                    try:
+                        outcome = export_eval(advertised)
+                    except PolicyEvaluationError:
+                        continue
+                    if outcome.action is Action.DENY:
+                        continue
+                    advertised = outcome.route
+                advertised = advertised.with_as_prepended(sender_asn)
+                advertised = advertised.with_next_hop(session.local_ip)
+                if advertised.as_path.contains(receiver_asn):
+                    continue  # AS-loop prevention
+                if import_eval is not None:
+                    try:
+                        outcome = import_eval(advertised)
+                    except PolicyEvaluationError:
+                        continue
+                    if outcome.action is Action.DENY:
+                        continue
+                    advertised = outcome.route
             candidate = RibEntry(
                 route=advertised,
                 learned_from=sender,
@@ -402,6 +470,70 @@ class BgpSimulation:
             if self._install(receiver, candidate):
                 changed.add(candidate.route.prefix)
         return changed
+
+    def _export_candidate(
+        self,
+        entry: RibEntry,
+        export_find,
+        import_find,
+        sender: str,
+        sender_asn: int,
+        receiver_asn: int,
+        local_ip: Ipv4Address,
+    ) -> Optional[RibEntry]:
+        """One sender RIB entry through the v2 export pipeline.
+
+        Matching runs against immutable state first (``find_clause``
+        never mutates), so a builder is allocated only when a firing
+        clause actually carries set actions; the dominant permit-all
+        fall-through reduces to one direct interned construction
+        (:func:`~repro.netmodel.routebuilder.export_route`).  Either
+        way the pipeline allocates one ``Route``, not one per stage.
+        Returns the receiver-side candidate, or ``None`` when any stage
+        denies (cached by the caller until the sender's entry changes).
+        """
+        route = entry.route
+        # AS paths only grow (export maps can prepend, never strip), so
+        # a loop already present in the stored path — or the prepend
+        # about to happen — is final.  Export prepends re-check below.
+        if receiver_asn == sender_asn or receiver_asn in route.as_path.asns:
+            return None
+        builder = None
+        if export_find is not None:
+            try:
+                clause = export_find(route)
+            except PolicyEvaluationError:
+                return None
+            if clause is None or clause.action is Action.DENY:
+                return None
+            if clause.sets:
+                builder = RouteBuilder(route)
+                clause.apply_sets(builder)
+        if builder is None:
+            advertised = export_route(route, sender_asn, local_ip)
+        else:
+            builder.prepend_as(sender_asn)
+            builder.set_next_hop(local_ip)
+            if builder.path_contains(receiver_asn):
+                return None  # AS-loop via an export-map prepend
+            advertised = builder.freeze()
+        if import_find is not None:
+            try:
+                clause = import_find(advertised)
+            except PolicyEvaluationError:
+                return None
+            if clause is None or clause.action is Action.DENY:
+                return None
+            if clause.sets:
+                import_builder = RouteBuilder(advertised)
+                clause.apply_sets(import_builder)
+                advertised = import_builder.freeze()
+        return RibEntry(
+            route=advertised,
+            learned_from=sender,
+            origin_router=entry.origin_router,
+            path=entry.path + (sender,),
+        )
 
     def _prepared_policy(self, config: RouterConfig, route_map):
         key = (id(config), route_map.name)
@@ -430,7 +562,7 @@ class BgpSimulation:
         rib = self._ribs[hostname]
         incumbent = rib.get(candidate.route.prefix)
         if incumbent is None or self._better(candidate, incumbent):
-            if incumbent is not None and _entry_key(incumbent) == _entry_key(candidate):
+            if incumbent is not None and _same_entry(incumbent, candidate):
                 return False
             rib[candidate.route.prefix] = candidate
             return True
@@ -439,13 +571,15 @@ class BgpSimulation:
     @staticmethod
     def _better(candidate: RibEntry, incumbent: RibEntry) -> bool:
         """Standard BGP decision process (deterministic tie-break)."""
-        if candidate.is_local != incumbent.is_local:
-            return candidate.is_local  # locally originated wins
+        candidate_local = candidate.learned_from is None
+        if candidate_local != (incumbent.learned_from is None):
+            return candidate_local  # locally originated wins
         left, right = candidate.route, incumbent.route
         if left.local_pref != right.local_pref:
             return left.local_pref > right.local_pref
-        if len(left.as_path) != len(right.as_path):
-            return len(left.as_path) < len(right.as_path)
+        left_asns, right_asns = left.as_path.asns, right.as_path.asns
+        if left_asns is not right_asns and len(left_asns) != len(right_asns):
+            return len(left_asns) < len(right_asns)
         if left.med != right.med:
             return left.med < right.med
         return (candidate.learned_from or "") < (incumbent.learned_from or "")
@@ -466,12 +600,33 @@ def rib_snapshots(simulation: BgpSimulation) -> Dict[str, Dict[Prefix, Tuple]]:
     }
 
 
+def _same_entry(left: RibEntry, right: RibEntry) -> bool:
+    """Whether two entries are indistinguishable (the no-op install
+    check).  Field-by-field with interned attributes first — no tuple
+    construction on the hot path."""
+    a, b = left.route, right.route
+    return (
+        left.learned_from == right.learned_from
+        and left.origin_router == right.origin_router
+        and a.med == b.med
+        and a.local_pref == b.local_pref
+        and (a.as_path is b.as_path or a.as_path.asns == b.as_path.asns)
+        and (a.communities is b.communities or a.communities == b.communities)
+        and a.next_hop == b.next_hop
+        and a.prefix == b.prefix
+    )
+
+
 def _entry_key(entry: RibEntry) -> Tuple:
+    # Route attributes are interned (see repro.netmodel.route), so the
+    # as-path tuple and community frozenset compare by pointer on the
+    # hot same-entry check in _install — no per-comparison string
+    # rendering or sorting.
     route = entry.route
     return (
         route.prefix,
         route.as_path.asns,
-        tuple(sorted(str(c) for c in route.communities)),
+        route.communities,
         route.med,
         route.local_pref,
         str(route.next_hop),

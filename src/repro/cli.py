@@ -13,9 +13,10 @@ All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
 ``--routers`` (default 7), ``--family`` (default star), ``--no-iips``,
 and — for the seeded random/waxman families — ``--roles`` (a role spec
 such as ``c2i3h2``), ``--topo`` (family knobs such as ``p=0.4`` or
-``alpha=0.5,beta=0.7``), and ``--topo-seed``.  ``campaign`` takes
-comma-separated ``--families`` and ``--sizes``, a ``--seeds`` count, a
-``--workers`` pool size, repeatable ``--roles``/``--topo`` axes for
+``alpha=0.5,beta=0.7``), ``--topo-seed``, and ``--place`` (``seeded``
+or ``degree`` role placement).  ``campaign`` takes comma-separated
+``--families`` and ``--sizes``, a ``--seeds`` count, a ``--workers``
+pool size, repeatable ``--roles``/``--topo``/``--place`` axes for
 seeded families, and writes a JSON summary (``--json``, default
 ``campaign_results.json``) plus an optional ``--csv``.  Results stream
 to a JSONL journal (``--journal``, default ``campaign_journal.jsonl``;
@@ -27,7 +28,8 @@ artifacts) from an existing journal without running anything — repeat
 the flag to merge several campaigns into one cross-campaign summary
 (duplicate scenario keys resolved last-flag-wins);
 ``--no-incremental-sim`` disables warm incremental BGP re-simulation
-for A/B comparisons.
+and ``--route-model v1`` restores the historical per-attribute route
+copies, both for A/B comparisons.
 """
 
 from __future__ import annotations
@@ -91,6 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="graph seed for the seeded families (random, waxman)",
     )
+    synthesize.add_argument(
+        "--place",
+        default="default",
+        help=(
+            "role-placement strategy for the seeded families: seeded "
+            "(default) or degree (customers pinned to the lowest-degree "
+            "routers)"
+        ),
+    )
 
     incremental = subparsers.add_parser(
         "incremental", help="incremental policy addition (paper §6)"
@@ -151,6 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--place",
+        action="append",
+        default=None,
+        metavar="STRATEGY",
+        help=(
+            "role-placement axis for seeded families (repeatable): "
+            "seeded or degree (customers on the lowest-degree routers)"
+        ),
+    )
+    campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
     )
     campaign.add_argument(
@@ -198,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-incremental-sim",
         action="store_true",
         help="disable warm incremental BGP re-simulation (A/B comparisons)",
+    )
+    campaign.add_argument(
+        "--route-model",
+        choices=("v1", "v2"),
+        default="v2",
+        help=(
+            "route-transformation datapath: v2 (default, transactional "
+            "builder + interning) or v1 (historical per-attribute "
+            "copies, for A/B comparisons)"
+        ),
     )
     campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
@@ -273,6 +304,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             roles=args.roles,
             topo=args.topo,
             topology_seed=args.topo_seed,
+            place=args.place,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -322,6 +354,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .batfish.bgpsim import set_incremental_simulation
+    from .netmodel.route import set_route_model
     from .experiments.campaign import (
         build_grid,
         run_campaign,
@@ -348,6 +381,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--profiles", args.profiles != defaults.profiles),
                 ("--roles", args.roles is not None),
                 ("--topo", args.topo is not None),
+                ("--place", args.place is not None),
+                ("--route-model", args.route_model != defaults.route_model),
             )
             if given
         ]
@@ -371,6 +406,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.no_incremental_sim:
         set_incremental_simulation(False)
+    set_route_model(args.route_model)
     families = [item for item in args.families.split(",") if item]
     profiles = [item for item in args.profiles.split(",") if item]
     try:
@@ -383,6 +419,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             iip_ablation=args.iip_ablation,
             roles=args.roles or ("default",),
             topos=args.topo or ("default",),
+            places=args.place or ("default",),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

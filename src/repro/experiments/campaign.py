@@ -50,6 +50,7 @@ from ..batfish.bgpsim import (
 )
 from ..core import DEFAULT_IIP_IDS
 from ..llm import BehaviorProfile
+from ..netmodel.route import route_model, route_totals, set_route_model
 from ..symbolic.memo import cache_totals, memoization_enabled, set_memoization
 from ..topology.families import FAMILIES
 
@@ -72,9 +73,11 @@ __all__ = [
     "topology_seed",
 ]
 
-# v2 added the grid's scenario keys to the header; v3 adds the role/topo
-# scenario axes (and their per-role verdict counts in each result row).
-JOURNAL_VERSION = 3
+# v2 added the grid's scenario keys to the header; v3 added the
+# role/topo scenario axes (and their per-role verdict counts in each
+# result row); v4 adds the role-placement axis (``place``) to scenario
+# keys/rows and the route-datapath counters to each journal record.
+JOURNAL_VERSION = 4
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -93,9 +96,11 @@ class Scenario:
     """One cell of the campaign grid.
 
     ``roles`` is a role spec (``c2i3h2`` — customers, ISPs, homes per
-    ISP, optionally ``pN`` peers) and ``topo`` a knob string
-    (``p=0.4`` / ``alpha=0.5,beta=0.7``); both are ``default`` for the
-    hand-shaped families, which have a fixed layout.
+    ISP, optionally ``pN`` peers), ``topo`` a knob string
+    (``p=0.4`` / ``alpha=0.5,beta=0.7``), and ``place`` a role-placement
+    strategy (``degree`` pins customers to the lowest-degree routers);
+    all three are ``default`` for the hand-shaped families, which have
+    a fixed layout.
     """
 
     family: str
@@ -105,11 +110,13 @@ class Scenario:
     iips: bool = True
     roles: str = "default"
     topo: str = "default"
+    place: str = "default"
 
     def key(self) -> str:
         return (
             f"{self.family}:{self.size}:{self.seed}:{self.profile}:"
-            f"{'iips' if self.iips else 'noiips'}:{self.roles}:{self.topo}"
+            f"{'iips' if self.iips else 'noiips'}:{self.roles}:{self.topo}:"
+            f"{self.place}"
         )
 
 
@@ -139,6 +146,7 @@ class ScenarioResult:
     topo: str = "default"
     roles_ok: int = 0
     roles_total: int = 0
+    place: str = "default"
 
     def render(self) -> str:
         if self.error is not None:
@@ -158,6 +166,8 @@ class ScenarioResult:
             line += f" roles={self.roles}"
             if self.topo != "default":
                 line += f" topo={self.topo}"
+        if self.place != "default":
+            line += f" place={self.place}"
         if self.roles_total:
             line += f" roles_ok={self.roles_ok}/{self.roles_total}"
         return line
@@ -176,9 +186,11 @@ def topology_seed(scenario: Scenario) -> int:
     """The seed that picks a seeded family's graph for this scenario.
 
     Derived from the topology-shaping coordinates only — *not* the
-    behavior profile or the IIP flag — so every profile/ablation cell
-    of one (family, size, seed, roles, topo) point runs on the same
-    graph and the workers' warm simulation states stay reusable.
+    behavior profile, the IIP flag, or the placement strategy (which
+    relocates roles on the sampled graph without re-sampling it) — so
+    every profile/ablation/placement cell of one (family, size, seed,
+    roles, topo) point runs on the same graph and the workers' warm
+    simulation states stay reusable.
     """
     material = (
         f"{scenario.family}:{scenario.size}:{scenario.seed}:"
@@ -195,16 +207,22 @@ def build_grid(
     iip_ablation: bool = False,
     roles: Sequence[str] = ("default",),
     topos: Sequence[str] = ("default",),
+    places: Sequence[str] = ("default",),
 ) -> List[Scenario]:
     """Enumerate the scenario grid in deterministic order.
 
-    ``roles`` and ``topos`` add the role-spec and topology-knob axes;
-    non-default values require every family in the grid to be seeded
-    (random/waxman) — the hand-shaped families have a fixed layout, and
-    silently ignoring an axis would fake coverage.
+    ``roles``, ``topos``, and ``places`` add the role-spec,
+    topology-knob, and role-placement axes; non-default values require
+    every family in the grid to be seeded (random/waxman) — the
+    hand-shaped families have a fixed layout, and silently ignoring an
+    axis would fake coverage.
     """
     from ..topology.families import SEEDED_FAMILIES
-    from ..topology.randomnet import _check_knobs, parse_topo_params
+    from ..topology.randomnet import (
+        _check_knobs,
+        coerce_placement,
+        parse_topo_params,
+    )
     from ..topology.roles import RoleSpec
 
     for family in families:
@@ -245,6 +263,24 @@ def build_grid(
             # grid pairing them with the wrong family here, instead of
             # fanning out scenarios that can only produce error rows.
             _check_knobs(family, parsed_knobs)
+    normalized_places = []
+    for place in places:
+        # Validates the name and canonicalizes spellings: "seeded",
+        # "", and None are the default strategy, so they normalize to
+        # one "default" cell (duplicates collapse) instead of fanning
+        # the identical placement out under distinct scenario keys.
+        # Non-default placements need seeded families, same as the
+        # other topology-shaping axes.
+        strategy = coerce_placement(place)
+        if strategy == "seeded":
+            strategy = "default"
+        elif unseeded:
+            raise ValueError(
+                f"placement {place!r} requires seeded families "
+                f"(random/waxman); grid also contains {', '.join(unseeded)}"
+            )
+        if strategy not in normalized_places:
+            normalized_places.append(strategy)
     iip_flags = (True, False) if iip_ablation else (True,)
     return [
         Scenario(
@@ -255,6 +291,7 @@ def build_grid(
             iips=iips,
             roles=spec or "default",
             topo=knobs or "default",
+            place=place or "default",
         )
         for family in families
         for size in sizes
@@ -263,6 +300,7 @@ def build_grid(
         for iips in iip_flags
         for spec in roles
         for knobs in topos
+        for place in normalized_places
     ]
 
 
@@ -285,6 +323,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             roles=scenario.roles,
             topo=scenario.topo,
             topology_seed=topology_seed(scenario),
+            place=scenario.place,
         )
     except Exception as exc:
         return ScenarioResult(
@@ -297,6 +336,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             error=f"{type(exc).__name__}: {exc}",
             roles=scenario.roles,
             topo=scenario.topo,
+            place=scenario.place,
         )
     log = experiment.result.prompt_log
     leverage = log.leverage()
@@ -320,6 +360,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         topo=scenario.topo,
         roles_ok=sum(1 for verdict in verdicts.values() if verdict),
         roles_total=len(verdicts),
+        place=scenario.place,
     )
 
 
@@ -341,17 +382,22 @@ class CompletedScenario:
     sim_incremental_runs: int = 0
     sim_full_evals: int = 0
     sim_incremental_evals: int = 0
+    routes_built: int = 0
+    routes_reused: int = 0
 
 
 def execute_scenario(scenario: Scenario) -> CompletedScenario:
-    """Run one scenario; measure its symbolic-cache and BGP-simulation
-    traffic (full vs incremental convergences against the worker's warm
-    per-topology simulation states)."""
+    """Run one scenario; measure its symbolic-cache, BGP-simulation
+    (full vs incremental convergences against the worker's warm
+    per-topology simulation states), and route-datapath traffic
+    (builder freezes vs no-change reuses)."""
     hits_before, misses_before = cache_totals()
     sim_before = sim_totals()
+    routes_before = route_totals()
     row = run_scenario(scenario)
     hits_after, misses_after = cache_totals()
     sim_after = sim_totals()
+    routes_after = route_totals()
     return CompletedScenario(
         key=scenario.key(),
         row=row,
@@ -367,6 +413,12 @@ def execute_scenario(scenario: Scenario) -> CompletedScenario:
         sim_incremental_evals=int(
             sim_after["incremental_evaluations"]
             - sim_before["incremental_evaluations"]
+        ),
+        routes_built=int(
+            routes_after["routes_built"] - routes_before["routes_built"]
+        ),
+        routes_reused=int(
+            routes_after["routes_reused"] - routes_before["routes_reused"]
         ),
     )
 
@@ -401,6 +453,8 @@ def _journal_line(completed: CompletedScenario) -> str:
             "sim_incremental_runs": completed.sim_incremental_runs,
             "sim_full_evals": completed.sim_full_evals,
             "sim_incremental_evals": completed.sim_incremental_evals,
+            "routes_built": completed.routes_built,
+            "routes_reused": completed.routes_reused,
         },
         sort_keys=True,
     )
@@ -463,6 +517,8 @@ def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
                     sim_incremental_evals=int(
                         record.get("sim_incremental_evals") or 0
                     ),
+                    routes_built=int(record.get("routes_built") or 0),
+                    routes_reused=int(record.get("routes_reused") or 0),
                 )
             except (TypeError, ValueError):
                 continue
@@ -527,6 +583,8 @@ def _summarize(
         sim_incremental_evals=sum(
             record.sim_incremental_evals for record in ordered
         ),
+        routes_built=sum(record.routes_built for record in ordered),
+        routes_reused=sum(record.routes_reused for record in ordered),
     )
 
 
@@ -648,6 +706,8 @@ class CampaignSummary:
     sim_incremental_runs: int = 0
     sim_full_evals: int = 0
     sim_incremental_evals: int = 0
+    routes_built: int = 0
+    routes_reused: int = 0
 
     @property
     def errors(self) -> List[ScenarioResult]:
@@ -746,8 +806,8 @@ class CampaignSummary:
         target = Path(path)
         columns = [
             "family", "size", "seed", "profile", "iips", "roles", "topo",
-            "automated_prompts", "human_prompts", "leverage", "verified",
-            "global_ok", "roles_ok", "roles_total", "error",
+            "place", "automated_prompts", "human_prompts", "leverage",
+            "verified", "global_ok", "roles_ok", "roles_total", "error",
         ]
         with target.open("w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns)
@@ -786,6 +846,11 @@ class CampaignSummary:
             if speedup is not None:
                 sim_line += f" (incremental does ~{speedup:.1f}x less work)"
             lines.append(sim_line)
+        if self.routes_built or self.routes_reused:
+            lines.append(
+                f"  route datapath: {self.routes_built} route(s) built / "
+                f"{self.routes_reused} reused without copying"
+            )
         for summary in self.by_family():
             lines.append("  " + summary.render())
         return "\n".join(lines)
@@ -794,16 +859,17 @@ class CampaignSummary:
 # -- the engine ----------------------------------------------------------------
 
 
-def _init_worker(memoize: bool, incremental_sim: bool) -> None:
+def _init_worker(memoize: bool, incremental_sim: bool, model: str) -> None:
     """Propagate the parent's optimization toggles into a pool worker.
 
     Module globals do not survive the spawn/forkserver start methods,
-    so the executor replays them explicitly — `--no-incremental-sim`
-    and `set_memoization(False)` must govern the workers that actually
-    run the scenarios, on every platform.
+    so the executor replays them explicitly — `--no-incremental-sim`,
+    `set_memoization(False)`, and `set_route_model("v1")` must govern
+    the workers that actually run the scenarios, on every platform.
     """
     set_memoization(memoize)
     set_incremental_simulation(incremental_sim)
+    set_route_model(model)
 
 
 def run_campaign(
@@ -877,6 +943,7 @@ def run_campaign(
                 initargs=(
                     memoization_enabled(),
                     incremental_simulation_enabled(),
+                    route_model(),
                 ),
             ) as executor:
                 futures = [

@@ -88,22 +88,23 @@ def run_no_transit_experiment(
     roles: Optional[str] = None,
     topo: Optional[str] = None,
     topology_seed: int = 0,
+    place: Optional[str] = None,
 ) -> NoTransitExperiment:
     """Run the full §4 loop once and return everything measured.
 
     ``family`` selects the topology generator (star, chain, ring, mesh,
     dumbbell, random, waxman); the star keeps the paper's exact setup.
     For the seeded families, ``topology_seed`` picks the graph, while
-    ``roles`` (a role spec such as ``c2i3h2``) and ``topo`` (family
-    knobs such as ``p=0.4`` or ``alpha=0.5,beta=0.7``) shape what gets
-    placed on it.
+    ``roles`` (a role spec such as ``c2i3h2``), ``topo`` (family knobs
+    such as ``p=0.4`` or ``alpha=0.5,beta=0.7``), and ``place`` (role
+    placement: ``seeded`` or ``degree``) shape what gets placed on it.
     """
     if family == "star":
         # The star keeps its dedicated generator (hub-policy layout),
         # but honours the same contract as the other fixed-layout
-        # families: role/knob axes are rejected, never silently
-        # ignored as if a roled scenario had actually run.
-        from ..topology.randomnet import parse_topo_params
+        # families: role/knob/placement axes are rejected, never
+        # silently ignored as if a roled scenario had actually run.
+        from ..topology.randomnet import coerce_placement, parse_topo_params
         from ..topology.roles import RoleSpec
 
         if RoleSpec.coerce(roles) is not None:
@@ -116,10 +117,20 @@ def run_no_transit_experiment(
                 "family 'star' takes no topology knobs; knobs apply to "
                 "the seeded families (random, waxman)"
             )
+        if coerce_placement(place) != "seeded":
+            raise ValueError(
+                "family 'star' has a fixed role layout; placement "
+                "strategies apply to the seeded families (random, waxman)"
+            )
         star = generate_star_network(router_count)
     else:
         star = generate_network(
-            family, router_count, seed=topology_seed, roles=roles, params=topo
+            family,
+            router_count,
+            seed=topology_seed,
+            roles=roles,
+            params=topo,
+            place=place,
         )
     models = make_synthesis_models(
         star.topology,

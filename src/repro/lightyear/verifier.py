@@ -5,6 +5,11 @@ Table 3's semantic-error prompt is ("The route-map DROP_COMMUNITY
 permits routes that have the community 100:1. However, they should be
 denied.").
 
+Each checker binds its route map to the config once
+(:meth:`~repro.netmodel.routing_policy.RouteMap.prepare`) and walks the
+memoized candidate grid through the prepared evaluator, so the per-route
+cost is pure evaluation — no repeated name resolution.
+
 Checks are memoized per (invariant, canonicalized route-map structure):
 the synthesis loop re-verifies every router after each correction
 round, and campaign grids repeat the same reference shapes across
@@ -151,9 +156,10 @@ def _verify_ingress_tag(
     invariant: IngressTagInvariant,
 ) -> Optional[InvariantViolation]:
     universe = CandidateUniverse.for_policy(config, route_map)
+    evaluate = route_map.prepare(config).evaluate
     for route in universe.cached_routes():
         try:
-            outcome = route_map.evaluate(route, config)
+            outcome = evaluate(route)
         except PolicyEvaluationError:
             continue
         if outcome.action is Action.PERMIT and (
@@ -179,13 +185,14 @@ def _verify_egress_filter(
     route_map: RouteMap,
     invariant: EgressFilterInvariant,
 ) -> Optional[InvariantViolation]:
+    evaluate = route_map.prepare(config).evaluate
     for community in sorted(invariant.forbidden):
         constraint = RouteConstraint.with_community(community)
         universe = CandidateUniverse.for_policy(config, route_map)
         universe.add_constraint(constraint)
         for route in universe.cached_routes(constraint):
             try:
-                outcome = route_map.evaluate(route, config)
+                outcome = evaluate(route)
             except PolicyEvaluationError:
                 continue
             if outcome.action is Action.PERMIT:
@@ -210,9 +217,10 @@ def _verify_egress_prepend(
 ) -> Optional[InvariantViolation]:
     expected = (invariant.asn,) * invariant.count
     universe = CandidateUniverse.for_policy(config, route_map)
+    evaluate = route_map.prepare(config).evaluate
     for route in universe.cached_routes():
         try:
-            outcome = route_map.evaluate(route, config)
+            outcome = evaluate(route)
         except PolicyEvaluationError:
             continue
         if outcome.action is not Action.PERMIT:

@@ -13,9 +13,11 @@ from .replay import ReplayClient, responses_of
 from .simulated import CorrectionStats, SimulatedGPT4
 from .synthesis_faults import (
     IIP_SUPPRESSED_FAULTS,
+    MULTIHOME_FAULT_KEY,
     border_fault_assignment,
     default_fault_assignment,
     fault_designations,
+    multihome_fault_target,
     synthesis_fault_catalog,
 )
 from .synthesis_model import make_synthesis_model, make_synthesis_models
@@ -38,6 +40,7 @@ __all__ = [
     "Fault",
     "FaultTargetError",
     "IIP_SUPPRESSED_FAULTS",
+    "MULTIHOME_FAULT_KEY",
     "LLMClient",
     "ReplayClient",
     "SIDE_POOL_FAULTS",
@@ -45,6 +48,7 @@ __all__ = [
     "border_fault_assignment",
     "default_fault_assignment",
     "fault_designations",
+    "multihome_fault_target",
     "make_synthesis_model",
     "make_synthesis_models",
     "make_translation_model",

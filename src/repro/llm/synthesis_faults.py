@@ -47,17 +47,24 @@ from ..netmodel.routing_policy import (
 from ..topology.families import is_hub_star, isp_attachments
 from ..topology.generator import ingress_community
 from ..topology.model import Topology
-from ..topology.roles import egress_map_of, ingress_map_of
+from ..topology.roles import RoleAssignment, egress_map_of, ingress_map_of
 from .faults import Fault, FaultTargetError
 
 __all__ = [
     "IIP_SUPPRESSED_FAULTS",
+    "MULTIHOME_FAULT_KEY",
     "SYNTHESIS_SIDE_POOL",
     "border_fault_assignment",
     "default_fault_assignment",
     "fault_designations",
+    "multihome_fault_target",
     "synthesis_fault_catalog",
 ]
+
+# The role-aware fault family: present in a topology's catalog only
+# when that topology actually carries a multi-homed transit-forbidden
+# ISP (two attachments sharing one community slot).
+MULTIHOME_FAULT_KEY = "multihome_untagged_home"
 
 # fault key -> the IIP id whose presence suppresses it (§4.2's four IIPs;
 # the misplaced-keywords IIP covers CLI prompts and wrong keywords both).
@@ -178,7 +185,43 @@ def fault_designations(topology: Topology) -> Dict[str, str]:
             designations.setdefault(key, router)
     for key in SYNTHESIS_SIDE_POOL:
         designations.setdefault(key, "R1")
+    multihome = multihome_fault_target(topology)
+    if multihome is not None:
+        designations.setdefault(MULTIHOME_FAULT_KEY, multihome[0])
     return designations
+
+
+def multihome_fault_target(
+    topology: Topology,
+) -> "Tuple[str, str, object] | None":
+    """(router, ingress map, shared community) of the *second* home of
+    the first multi-homed transit-forbidden ISP, or ``None`` when the
+    topology has no multi-homed group.
+
+    This is the role-aware fault family's address: the attachment whose
+    draft can silently break the shared-tag discipline while every
+    other home of the same ISP keeps tagging — the per-ISP (rather than
+    per-border-router) failure mode the multi-homed no-transit argument
+    exists to catch.
+    """
+    from ..topology.reference import ingress_map_name
+
+    if is_hub_star(topology):
+        return None  # hub policy: no role assignment, never multi-homed
+    roles = RoleAssignment.from_topology(topology)
+    for index in roles.indices():
+        group = roles.groups[index]
+        if len(group) > 1:
+            second_home = group[1]
+            # The map is named for the shared community *slot*, so both
+            # homes carry an identically-named map — the fault corrupts
+            # the copy on the second home's router only.
+            return (
+                second_home.router,
+                ingress_map_name(index),
+                ingress_community(index),
+            )
+    return None
 
 
 # -- per-family target resolution ---------------------------------------------
@@ -483,6 +526,25 @@ def synthesis_fault_catalog(topology: Topology) -> Dict[str, Fault]:
             ir_transform=_make_non_additive(non_additive_target),
         )
     )
+
+    # -- role-aware fault family ----------------------------------------------
+    # Only topologies with a multi-homed ISP carry this fault: exactly
+    # one home stops adding the community slot it *shares* with its
+    # sibling attachments, so the ISP's other homes keep the discipline
+    # while this one opens a transit path.
+    multihome = multihome_fault_target(topology)
+    if multihome is not None:
+        _, multihome_map, multihome_tag = multihome
+        faults.append(
+            Fault(
+                key=MULTIHOME_FAULT_KEY,
+                label="One home of a multi-homed ISP drops the shared tag",
+                category=ErrorCategory.SEMANTIC,
+                fixable_by_generated_prompt=True,
+                prompt_patterns=(re.escape(multihome_map),),
+                ir_transform=_drop_home_tag(multihome_map, multihome_tag),
+            )
+        )
     return {fault.key: fault for fault in faults}
 
 
@@ -693,6 +755,46 @@ def _drop_ingress_sets(map_name: str):
             )
         for clause in route_map.clauses:
             clause.sets = []
+
+    return transform
+
+
+def _drop_home_tag(map_name: str, community: Community):
+    """Remove the shared community from one home's ingress tagging.
+
+    Addressed like every other fault: injected into a draft whose
+    router lacks the slot's map — or whose map never adds the shared
+    tag — it raises :class:`FaultTargetError` instead of no-opping.
+    """
+
+    def transform(config: RouterConfig) -> None:
+        route_map = _require_map(config, map_name, MULTIHOME_FAULT_KEY)
+        dropped = False
+        for clause in route_map.clauses:
+            rewritten = []
+            for action in clause.sets:
+                if (
+                    isinstance(action, SetCommunity)
+                    and community in action.communities
+                ):
+                    dropped = True
+                    remaining = tuple(
+                        item
+                        for item in action.communities
+                        if item != community
+                    )
+                    if remaining:
+                        rewritten.append(
+                            SetCommunity(remaining, additive=action.additive)
+                        )
+                else:
+                    rewritten.append(action)
+            clause.sets = rewritten
+        if not dropped:
+            raise FaultTargetError(
+                f"{MULTIHOME_FAULT_KEY}: {map_name} on {config.hostname} "
+                f"never adds the shared community {community}"
+            )
 
     return transform
 

@@ -8,15 +8,31 @@ and the Batfish-substitute simulates a network of them.
 """
 
 from .acl import AccessList, AclEntry
-from .aspath import AsPath, AsPathAccessList, AsPathEntry, path_through
+from .aspath import AsPath, AsPathAccessList, AsPathEntry, EMPTY_AS_PATH, path_through
 from .bgp import BgpNeighbor, BgpProcess, Redistribution
-from .communities import Community, CommunityError, CommunityList, CommunityListEntry
+from .communities import (
+    Community,
+    CommunityError,
+    CommunityList,
+    CommunityListEntry,
+    EMPTY_COMMUNITIES,
+    intern_communities,
+)
 from .device import RouterConfig, Vendor
 from .interfaces import Interface
 from .ip import AddressError, Ipv4Address, Prefix, PrefixRange
 from .ospf import OspfNetworkStatement, OspfProcess
 from .prefixlist import PrefixList, PrefixListEntry
-from .route import Origin, Protocol, Route
+from .route import (
+    Origin,
+    Protocol,
+    Route,
+    reset_route_stats,
+    route_model,
+    route_totals,
+    set_route_model,
+)
+from .routebuilder import RouteBuilder
 from .routing_policy import (
     Action,
     MatchAcl,
@@ -55,6 +71,8 @@ __all__ = [
     "CommunityError",
     "CommunityList",
     "CommunityListEntry",
+    "EMPTY_AS_PATH",
+    "EMPTY_COMMUNITIES",
     "Interface",
     "Ipv4Address",
     "MatchAcl",
@@ -78,6 +96,7 @@ __all__ = [
     "Protocol",
     "Redistribution",
     "Route",
+    "RouteBuilder",
     "RouteMap",
     "RouteMapClause",
     "RouterConfig",
@@ -88,6 +107,11 @@ __all__ = [
     "SetMed",
     "SetNextHop",
     "Vendor",
+    "intern_communities",
     "path_through",
     "permit_all",
+    "reset_route_stats",
+    "route_model",
+    "route_totals",
+    "set_route_model",
 ]

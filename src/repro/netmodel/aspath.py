@@ -10,14 +10,22 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["AsPath", "AsPathAccessList", "AsPathEntry"]
+__all__ = ["AsPath", "AsPathAccessList", "AsPathEntry", "EMPTY_AS_PATH"]
 
 
 @dataclass(frozen=True)
 class AsPath:
     """A sequence of AS numbers, most recent hop first.
+
+    Canonical instances are *interned*: :meth:`of` (and every transform
+    that goes through it, e.g. :meth:`prepend` or construction of a
+    :class:`~repro.netmodel.route.Route`) returns one shared flyweight
+    per distinct AS sequence, so the hot best-path comparisons in the
+    BGP simulator degenerate to pointer checks and repeated paths share
+    one tuple.  Direct construction still works and keeps plain value
+    semantics — interning never changes equality, only identity.
 
     >>> AsPath((65001, 65002)).render()
     '65001 65002'
@@ -26,13 +34,22 @@ class AsPath:
     asns: Tuple[int, ...] = ()
 
     @classmethod
+    def of(cls, asns: Tuple[int, ...]) -> "AsPath":
+        """The canonical (interned) path for an AS tuple."""
+        path = _INTERNED_PATHS.get(asns)
+        if path is None:
+            path = cls(asns)
+            _INTERNED_PATHS[asns] = path
+        return path
+
+    @classmethod
     def parse(cls, text: str) -> "AsPath":
         parts = text.split()
-        return cls(tuple(int(part) for part in parts))
+        return cls.of(tuple(int(part) for part in parts))
 
     def prepend(self, asn: int, count: int = 1) -> "AsPath":
-        """Return a new path with ``asn`` prepended ``count`` times."""
-        return AsPath((asn,) * count + self.asns)
+        """Return the canonical path with ``asn`` prepended ``count`` times."""
+        return AsPath.of((asn,) * count + self.asns)
 
     def contains(self, asn: int) -> bool:
         return asn in self.asns
@@ -46,6 +63,14 @@ class AsPath:
 
     def __str__(self) -> str:
         return self.render()
+
+
+# tuple of ASNs -> the canonical AsPath carrying it (the flyweight table
+# behind AsPath.of; unbounded, but paths are tiny and the distinct-path
+# population of a simulation is small).
+_INTERNED_PATHS: Dict[Tuple[int, ...], AsPath] = {}
+
+EMPTY_AS_PATH = AsPath.of(())
 
 
 def _translate_cisco_regex(pattern: str) -> str:
@@ -90,4 +115,4 @@ class AsPathAccessList:
 
 def path_through(asns: Sequence[int]) -> AsPath:
     """Convenience constructor used heavily in tests."""
-    return AsPath(tuple(asns))
+    return AsPath.of(tuple(asns))

@@ -9,13 +9,15 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 __all__ = [
     "Community",
     "CommunityList",
     "CommunityListEntry",
     "CommunityError",
+    "EMPTY_COMMUNITIES",
+    "intern_communities",
 ]
 
 _COMMUNITY_RE = re.compile(r"^(\d+):(\d+)$")
@@ -49,6 +51,34 @@ class Community:
 
     def __str__(self) -> str:
         return f"{self.asn}:{self.value}"
+
+
+EMPTY_COMMUNITIES: FrozenSet[Community] = frozenset()
+
+# value-keyed identity map: one canonical frozenset per distinct
+# community set (frozensets cache their hash, so repeated lookups with
+# the same canonical instance cost a pointer compare).
+_INTERNED_SETS: Dict[FrozenSet[Community], FrozenSet[Community]] = {}
+
+
+def intern_communities(
+    communities: Iterable[Community],
+) -> FrozenSet[Community]:
+    """The canonical (interned) frozenset for a community collection.
+
+    Same-valued route community sets become ``is``-identical, making the
+    hot equality/hash checks of best-path selection and attribute
+    diffing pointer-cheap.  Value semantics are untouched: the canonical
+    instance is ``==`` to any equal frozenset.
+    """
+    members = (
+        communities
+        if type(communities) is frozenset
+        else frozenset(communities)
+    )
+    if not members:
+        return EMPTY_COMMUNITIES
+    return _INTERNED_SETS.setdefault(members, members)
 
 
 @dataclass(frozen=True)

@@ -4,19 +4,51 @@ A :class:`Route` models a BGP route advertisement as seen by a route map:
 a prefix plus the attributes the paper's experiments manipulate (MED,
 local preference, communities, AS path, origin protocol).  Routes are
 immutable; policy evaluation returns transformed copies.
+
+Route datapath v2
+-----------------
+
+The original ``Route`` was a frozen dataclass whose seven ``with_*``
+methods each ran ``dataclasses.replace`` — on large-mesh converges that
+attribute copying was ~45% of the wall clock.  The redesigned datapath
+keeps the same value semantics but changes the machinery:
+
+* ``Route`` is a ``__slots__`` value type whose :class:`~repro.netmodel.
+  aspath.AsPath` and community set are *interned* (one canonical
+  instance per distinct value, see ``AsPath.of`` and
+  :func:`~repro.netmodel.communities.intern_communities`), so equality
+  and hashing on the hot comparisons are pointer-cheap and memo keys
+  stay canonical;
+* transformation happens through a mutating
+  :class:`~repro.netmodel.routebuilder.RouteBuilder` that policy
+  evaluation drives *transactionally*: a clause chain (or a whole
+  session export in ``bgpsim._advertise``) accumulates every change
+  into one builder and ``freeze()``-es exactly once, allocating one
+  ``Route`` where the v1 path allocated one per attribute;
+* the historical ``with_*`` methods survive as thin deprecated shims
+  over the builder, and :func:`set_route_model` keeps the piecemeal v1
+  datapath alive for A/B benchmarking (results are identical either
+  way — the differential route-model tests assert it).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Iterable, Optional
 
-from .aspath import AsPath
-from .communities import Community
+from .aspath import AsPath, EMPTY_AS_PATH
+from .communities import Community, EMPTY_COMMUNITIES, intern_communities
 from .ip import Ipv4Address, Prefix
 
-__all__ = ["Origin", "Protocol", "Route"]
+__all__ = [
+    "Origin",
+    "Protocol",
+    "Route",
+    "reset_route_stats",
+    "route_model",
+    "route_totals",
+    "set_route_model",
+]
 
 
 class Origin(enum.Enum):
@@ -45,50 +77,265 @@ class Protocol(enum.Enum):
 DEFAULT_LOCAL_PREF = 100
 
 
-@dataclass(frozen=True)
+# -- the datapath A/B toggle ---------------------------------------------------
+
+_ROUTE_MODEL = "v2"
+
+_STATS = {
+    "routes_built": 0,  # Route allocations through RouteBuilder.freeze
+    "routes_reused": 0,  # freeze() calls that returned the base unchanged
+}
+
+
+def set_route_model(model: str) -> None:
+    """Select the route-transformation datapath: ``"v1"`` or ``"v2"``.
+
+    v2 (the default) drives policy evaluation and session export through
+    one transactional :class:`~repro.netmodel.routebuilder.RouteBuilder`
+    per clause chain; v1 restores the historical piecemeal ``with_*`` /
+    per-``SetAction`` copies so benchmarks can compare the two paths
+    (mirrors ``set_batched_evaluation`` / ``set_incremental_simulation``).
+    RIBs, verdicts, and memo behavior are identical under either model.
+    """
+    if model not in ("v1", "v2"):
+        raise ValueError(f"unknown route model {model!r} (expected v1 or v2)")
+    global _ROUTE_MODEL
+    _ROUTE_MODEL = model
+
+
+def route_model() -> str:
+    return _ROUTE_MODEL
+
+
+def route_model_is_v2() -> bool:
+    return _ROUTE_MODEL == "v2"
+
+
+def reset_route_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def route_totals() -> dict:
+    """Process-wide route-datapath accounting (builder freezes vs
+    no-change reuses) for campaign/bench reporting."""
+    return dict(_STATS)
+
+
+# -- the value type ------------------------------------------------------------
+
+
 class Route:
-    """An immutable route advertisement.
+    """An immutable route advertisement (interned, ``__slots__``-based).
 
     >>> route = Route(prefix=Prefix.parse("1.2.3.0/24"))
     >>> route.with_med(50).med
     50
     """
 
-    prefix: Prefix
-    as_path: AsPath = field(default_factory=AsPath)
-    communities: FrozenSet[Community] = frozenset()
-    med: int = 0
-    local_pref: int = DEFAULT_LOCAL_PREF
-    origin: Origin = Origin.IGP
-    protocol: Protocol = Protocol.BGP
-    next_hop: Optional[Ipv4Address] = None
+    __slots__ = (
+        "prefix",
+        "as_path",
+        "communities",
+        "med",
+        "local_pref",
+        "origin",
+        "protocol",
+        "next_hop",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        as_path: Optional[AsPath] = None,
+        communities: Iterable[Community] = EMPTY_COMMUNITIES,
+        med: int = 0,
+        local_pref: int = DEFAULT_LOCAL_PREF,
+        origin: Origin = Origin.IGP,
+        protocol: Protocol = Protocol.BGP,
+        next_hop: Optional[Ipv4Address] = None,
+    ) -> None:
+        new = object.__setattr__
+        new(self, "prefix", prefix)
+        new(
+            self,
+            "as_path",
+            EMPTY_AS_PATH if as_path is None else AsPath.of(as_path.asns),
+        )
+        new(self, "communities", intern_communities(communities))
+        new(self, "med", med)
+        new(self, "local_pref", local_pref)
+        new(self, "origin", origin)
+        new(self, "protocol", protocol)
+        new(self, "next_hop", next_hop)
+        new(self, "_hash", None)
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        prefix: Prefix,
+        as_path: AsPath,
+        communities: FrozenSet[Community],
+        med: int,
+        local_pref: int,
+        origin: Origin,
+        protocol: Protocol,
+        next_hop: Optional[Ipv4Address],
+    ) -> "Route":
+        """Construct trusting already-interned attributes (the builder's
+        ``freeze`` fast path — skips the re-interning of ``__init__``)."""
+        route = cls.__new__(cls)
+        new = object.__setattr__
+        new(route, "prefix", prefix)
+        new(route, "as_path", as_path)
+        new(route, "communities", communities)
+        new(route, "med", med)
+        new(route, "local_pref", local_pref)
+        new(route, "origin", origin)
+        new(route, "protocol", protocol)
+        new(route, "next_hop", next_hop)
+        new(route, "_hash", None)
+        return route
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Route is immutable; transform via RouteBuilder")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Route is immutable; transform via RouteBuilder")
+
+    # With __slots__ and a raising __setattr__, the default pickle/copy
+    # machinery cannot restore attributes; rebuilding through __init__
+    # also re-interns, so an unpickled route lands back on the
+    # canonical flyweights of its process.
+    def __reduce__(self):
+        return (
+            Route,
+            (
+                self.prefix,
+                self.as_path,
+                self.communities,
+                self.med,
+                self.local_pref,
+                self.origin,
+                self.protocol,
+                self.next_hop,
+            ),
+        )
+
+    def __copy__(self) -> "Route":
+        return self  # immutable value: a copy is the object itself
+
+    def __deepcopy__(self, memo: dict) -> "Route":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Route):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.med == other.med
+            and self.local_pref == other.local_pref
+            and (self.as_path is other.as_path or self.as_path == other.as_path)
+            and (
+                self.communities is other.communities
+                or self.communities == other.communities
+            )
+            and self.origin is other.origin
+            and self.protocol is other.protocol
+            and self.next_hop == other.next_hop
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(
+                (
+                    self.prefix,
+                    self.as_path,
+                    self.communities,
+                    self.med,
+                    self.local_pref,
+                    self.origin,
+                    self.protocol,
+                    self.next_hop,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"Route(prefix={self.prefix!r}, as_path={self.as_path!r}, "
+            f"communities={self.communities!r}, med={self.med!r}, "
+            f"local_pref={self.local_pref!r}, origin={self.origin!r}, "
+            f"protocol={self.protocol!r}, next_hop={self.next_hop!r})"
+        )
+
+    # -- deprecated v1 shims ---------------------------------------------------
+    #
+    # Each with_* call builds and freezes a single-change builder: one
+    # Route allocation per attribute, exactly the historical cost model
+    # the v1 datapath preserves for A/B comparison.  New code should
+    # drive a RouteBuilder transactionally instead.
+
+    def builder(self) -> "RouteBuilder":
+        """A mutable builder seeded from this route (the v2 entry point)."""
+        return _make_builder(self)
 
     def with_community_added(self, community: Community) -> "Route":
-        """Additive community set (Cisco ``set community X additive``)."""
-        return replace(self, communities=self.communities | {community})
+        """Deprecated: additive community set (``set community X additive``)."""
+        builder = _make_builder(self)
+        builder.add_community(community)
+        return builder.freeze()
 
     def with_communities_replaced(self, community: Community) -> "Route":
-        """Non-additive set: replaces every existing community.
+        """Deprecated: non-additive set, replacing every existing community.
 
         This is the behaviour the paper's IIP exists to avoid (§4.2,
         "Adding Communities").
         """
-        return replace(self, communities=frozenset({community}))
+        builder = _make_builder(self)
+        builder.set_communities((community,))
+        return builder.freeze()
 
     def with_med(self, med: int) -> "Route":
-        return replace(self, med=med)
+        """Deprecated: use a RouteBuilder."""
+        builder = _make_builder(self)
+        builder.set_med(med)
+        return builder.freeze()
 
     def with_local_pref(self, local_pref: int) -> "Route":
-        return replace(self, local_pref=local_pref)
+        """Deprecated: use a RouteBuilder."""
+        builder = _make_builder(self)
+        builder.set_local_pref(local_pref)
+        return builder.freeze()
 
     def with_next_hop(self, next_hop: Ipv4Address) -> "Route":
-        return replace(self, next_hop=next_hop)
+        """Deprecated: use a RouteBuilder."""
+        builder = _make_builder(self)
+        builder.set_next_hop(next_hop)
+        return builder.freeze()
 
     def with_as_prepended(self, asn: int, count: int = 1) -> "Route":
-        return replace(self, as_path=self.as_path.prepend(asn, count))
+        """Deprecated: use a RouteBuilder."""
+        builder = _make_builder(self)
+        builder.prepend_as(asn, count)
+        return builder.freeze()
 
     def with_protocol(self, protocol: Protocol) -> "Route":
-        return replace(self, protocol=protocol)
+        """Deprecated: use a RouteBuilder."""
+        builder = _make_builder(self)
+        builder.set_protocol(protocol)
+        return builder.freeze()
 
     def describe(self) -> str:
         """One-line rendering used in humanized counterexamples."""
@@ -102,3 +349,17 @@ class Route:
             f"communities {communities}, med {self.med}, "
             f"local-pref {self.local_pref}"
         )
+
+
+_RouteBuilder = None
+
+
+def _make_builder(route: "Route"):
+    # Imported lazily to break the route <-> routebuilder cycle without
+    # paying a sys.modules lookup on every with_* shim call.
+    global _RouteBuilder
+    if _RouteBuilder is None:
+        from .routebuilder import RouteBuilder
+
+        _RouteBuilder = RouteBuilder
+    return _RouteBuilder(route)

@@ -22,7 +22,8 @@ from .aspath import AsPathAccessList
 from .communities import Community, CommunityList
 from .ip import Ipv4Address, PrefixRange
 from .prefixlist import PrefixList
-from .route import Protocol, Route
+from .route import Protocol, Route, route_model_is_v2
+from .routebuilder import RouteBuilder
 
 __all__ = [
     "Action",
@@ -203,10 +204,23 @@ class MatchProtocol(MatchCondition):
 
 @dataclass(frozen=True)
 class SetAction:
-    """Base class for attribute transformations."""
+    """Base class for attribute transformations.
+
+    The primary API is transactional: :meth:`apply_to` records the
+    change on a shared :class:`~repro.netmodel.routebuilder.
+    RouteBuilder`, so a clause's whole set chain freezes one route.
+    :meth:`apply` is the deprecated piecemeal form (one builder and one
+    ``Route`` per action) kept as the v1 datapath for A/B benchmarks.
+    """
+
+    def apply_to(self, builder: RouteBuilder) -> None:
+        raise NotImplementedError
 
     def apply(self, route: Route) -> Route:
-        raise NotImplementedError
+        """Deprecated: one-action-one-copy (the v1 datapath)."""
+        builder = RouteBuilder(route)
+        self.apply_to(builder)
+        return builder.freeze()
 
     def describe(self) -> str:
         raise NotImplementedError
@@ -223,18 +237,14 @@ class SetCommunity(SetAction):
     communities: Tuple[Community, ...]
     additive: bool = False
 
-    def apply(self, route: Route) -> Route:
+    def apply_to(self, builder: RouteBuilder) -> None:
         if self.additive:
-            updated = route
             for community in self.communities:
-                updated = updated.with_community_added(community)
-            return updated
+                builder.add_community(community)
+            return
         if not self.communities:
-            return route
-        updated = route.with_communities_replaced(self.communities[0])
-        for community in self.communities[1:]:
-            updated = updated.with_community_added(community)
-        return updated
+            return
+        builder.set_communities(self.communities)
 
     def describe(self) -> str:
         rendered = " ".join(str(item) for item in self.communities)
@@ -248,8 +258,8 @@ class SetMed(SetAction):
 
     med: int
 
-    def apply(self, route: Route) -> Route:
-        return route.with_med(self.med)
+    def apply_to(self, builder: RouteBuilder) -> None:
+        builder.set_med(self.med)
 
     def describe(self) -> str:
         return f"set metric {self.med}"
@@ -261,8 +271,8 @@ class SetLocalPref(SetAction):
 
     local_pref: int
 
-    def apply(self, route: Route) -> Route:
-        return route.with_local_pref(self.local_pref)
+    def apply_to(self, builder: RouteBuilder) -> None:
+        builder.set_local_pref(self.local_pref)
 
     def describe(self) -> str:
         return f"set local-preference {self.local_pref}"
@@ -274,8 +284,8 @@ class SetNextHop(SetAction):
 
     next_hop: Ipv4Address
 
-    def apply(self, route: Route) -> Route:
-        return route.with_next_hop(self.next_hop)
+    def apply_to(self, builder: RouteBuilder) -> None:
+        builder.set_next_hop(self.next_hop)
 
     def describe(self) -> str:
         return f"set ip next-hop {self.next_hop}"
@@ -288,8 +298,8 @@ class SetAsPathPrepend(SetAction):
     asn: int
     count: int = 1
 
-    def apply(self, route: Route) -> Route:
-        return route.with_as_prepended(self.asn, self.count)
+    def apply_to(self, builder: RouteBuilder) -> None:
+        builder.prepend_as(self.asn, self.count)
 
     def describe(self) -> str:
         return f"set as-path prepend {' '.join([str(self.asn)] * self.count)}"
@@ -310,8 +320,18 @@ class RouteMapClause:
     term_name: Optional[str] = None
 
     def fires(self, route: Route, context: PolicyContext) -> bool:
-        """True when every match condition accepts the route."""
+        """True when every match condition accepts the route.
+
+        ``route`` may be a :class:`~repro.netmodel.routebuilder.
+        RouteBuilder` — builders duck-type the readable route surface,
+        so conditions see the transaction's current state.
+        """
         return all(condition.matches(route, context) for condition in self.matches)
+
+    def apply_sets(self, builder: RouteBuilder) -> None:
+        """Record every set action on the shared builder (v2 datapath)."""
+        for set_action in self.sets:
+            set_action.apply_to(builder)
 
     def describe(self) -> str:
         label = self.term_name or str(self.seq)
@@ -361,11 +381,48 @@ class RouteMap:
             if clause.fires(route, context):
                 if clause.action is Action.DENY:
                     return PolicyResult(Action.DENY, route, clause.seq)
+                if not clause.sets:
+                    return PolicyResult(Action.PERMIT, route, clause.seq)
+                if route_model_is_v2():
+                    # Transactional: the whole set chain accumulates
+                    # into one builder, frozen exactly once.
+                    builder = RouteBuilder(route)
+                    clause.apply_sets(builder)
+                    return PolicyResult(
+                        Action.PERMIT, builder.freeze(), clause.seq
+                    )
                 transformed = route
                 for set_action in clause.sets:
                     transformed = set_action.apply(transformed)
                 return PolicyResult(Action.PERMIT, transformed, clause.seq)
         return PolicyResult(Action.DENY, route, None)
+
+    def find_clause(
+        self, route: Route, context: PolicyContext
+    ) -> Optional[RouteMapClause]:
+        """The first clause whose matches accept the route, or ``None``
+        (the implicit deny).  ``route`` may be a builder; matching
+        never mutates, so callers can decide *whether* a transaction is
+        needed before allocating one (v2's advertise fast path)."""
+        for clause in self.clauses:
+            if clause.fires(route, context):
+                return clause
+        return None
+
+    def apply(self, builder: RouteBuilder, context: PolicyContext) -> Action:
+        """Evaluate against a shared builder's current state (v2 API).
+
+        Match conditions read the builder's live attributes; on a
+        permit, the firing clause's set chain is recorded on the same
+        builder and *no route is allocated* — the caller freezes once
+        at the end of its transaction.  Deny (explicit or implicit)
+        leaves the builder untouched.
+        """
+        clause = self.find_clause(builder, context)
+        if clause is None or clause.action is Action.DENY:
+            return Action.DENY
+        clause.apply_sets(builder)
+        return Action.PERMIT
 
     def prepare(self, context: PolicyContext) -> "PreparedRouteMap":
         """Bind the map to a context once for batch evaluation.
@@ -466,11 +523,44 @@ class PreparedRouteMap:
                 continue
             if clause.action is Action.DENY:
                 return PolicyResult(Action.DENY, route, clause.seq)
+            if not clause.sets:
+                return PolicyResult(Action.PERMIT, route, clause.seq)
+            if route_model_is_v2():
+                builder = RouteBuilder(route)
+                clause.apply_sets(builder)
+                return PolicyResult(Action.PERMIT, builder.freeze(), clause.seq)
             transformed = route
             for set_action in clause.sets:
                 transformed = set_action.apply(transformed)
             return PolicyResult(Action.PERMIT, transformed, clause.seq)
         return PolicyResult(Action.DENY, route, None)
+
+    def find_clause(self, route: Route) -> Optional[RouteMapClause]:
+        """The first clause whose bound matchers accept the route (or a
+        builder), or ``None`` for the implicit deny.  Matching never
+        mutates — see :meth:`RouteMap.find_clause`."""
+        for clause, matchers in self._clauses:
+            fired = True
+            for matcher in matchers:
+                if not matcher(route):
+                    fired = False
+                    break
+            if fired:
+                return clause
+        return None
+
+    def apply(self, builder: RouteBuilder) -> Action:
+        """Transactional form of :meth:`evaluate` (v2 API).
+
+        Bound matchers read the builder's live attributes; a permit
+        records the firing clause's sets on the same builder.  Mirrors
+        :meth:`RouteMap.apply` on the bound context.
+        """
+        clause = self.find_clause(builder)
+        if clause is None or clause.action is Action.DENY:
+            return Action.DENY
+        clause.apply_sets(builder)
+        return Action.PERMIT
 
 
 def _undefined_raiser(kind: str, name: str):

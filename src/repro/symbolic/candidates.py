@@ -25,10 +25,11 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
-from ..netmodel.communities import Community
+from ..netmodel.communities import Community, intern_communities
 from ..netmodel.device import RouterConfig
 from ..netmodel.ip import Prefix, PrefixRange
 from ..netmodel.route import Protocol, Route
+from ..netmodel.routebuilder import RouteBuilder
 from ..netmodel.routing_policy import (
     MatchAcl,
     MatchAsPathList,
@@ -273,13 +274,16 @@ class CandidateUniverse:
         return sorted(prefixes)
 
     def candidate_community_sets(self) -> List[FrozenSet[Community]]:
-        sets: Set[FrozenSet[Community]] = {frozenset()}
+        # Interned so every candidate route carrying the same community
+        # combination shares one canonical frozenset — memo keys built
+        # from these routes stay pointer-comparable.
+        sets: Set[FrozenSet[Community]] = {intern_communities(frozenset())}
         values = self._communities
         for size in range(1, min(MAX_COMMUNITY_SUBSET, len(values)) + 1):
             for combo in itertools.combinations(values, size):
-                sets.add(frozenset(combo))
+                sets.add(intern_communities(frozenset(combo)))
         if values:
-            sets.add(frozenset(values))
+            sets.add(intern_communities(frozenset(values)))
         return sorted(sets, key=lambda item: (len(item), sorted(map(str, item))))
 
     def candidate_protocols(self) -> List[Protocol]:
@@ -290,15 +294,25 @@ class CandidateUniverse:
     def routes(
         self, constraint: "RouteConstraint | None" = None
     ) -> Iterable[Route]:
-        """Yield the grid, filtered by an optional input constraint."""
+        """Yield the grid, filtered by an optional input constraint.
+
+        Routes are derived through the same :class:`RouteBuilder`
+        datapath policy evaluation uses, so every attribute is the
+        canonical interned instance and memo keys over these routes
+        compare pointer-cheap.
+        """
+        community_sets = self.candidate_community_sets()
+        protocols = self.candidate_protocols()
         for prefix in self.candidate_prefixes():
-            for communities in self.candidate_community_sets():
-                for protocol in self.candidate_protocols():
-                    route = Route(
-                        prefix=prefix,
-                        communities=communities,
-                        protocol=protocol,
-                    )
+            base = Route(prefix=prefix)
+            for communities in community_sets:
+                for protocol in protocols:
+                    builder = RouteBuilder(base)
+                    if communities:
+                        builder.set_communities(communities)
+                    if protocol is not base.protocol:
+                        builder.set_protocol(protocol)
+                    route = builder.freeze()
                     if constraint is None or constraint.admits(route):
                         yield route
 

@@ -140,7 +140,15 @@ def _compare_on(
 
 
 def _transform_detail(original: Route, translated: Route) -> str:
-    """Human-readable summary of attribute transform differences."""
+    """Human-readable summary of attribute transform differences.
+
+    Route attributes are interned (route datapath v2), so the common
+    no-difference case — both policies returned the very same canonical
+    route, or attribute instances are shared — short-circuits on
+    pointer checks before any set/tuple comparison runs.
+    """
+    if original is translated:
+        return ""
     parts: List[str] = []
     if original.med != translated.med:
         parts.append(
@@ -152,7 +160,10 @@ def _transform_detail(original: Route, translated: Route) -> str:
             f"the original sets local-preference to {original.local_pref} "
             f"but the translation sets it to {translated.local_pref}"
         )
-    if original.communities != translated.communities:
+    if (
+        original.communities is not translated.communities
+        and original.communities != translated.communities
+    ):
         original_set = (
             "{" + ", ".join(sorted(str(c) for c in original.communities)) + "}"
         )
@@ -167,7 +178,10 @@ def _transform_detail(original: Route, translated: Route) -> str:
         parts.append(
             f"next-hop differs: {original.next_hop} vs {translated.next_hop}"
         )
-    if original.as_path != translated.as_path:
+    if (
+        original.as_path is not translated.as_path
+        and original.as_path != translated.as_path
+    ):
         parts.append(
             f"as-path differs: [{original.as_path}] vs [{translated.as_path}]"
         )

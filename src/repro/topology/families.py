@@ -78,15 +78,16 @@ MAX_SIZE = 22  # keeps the mesh's 10.k.0.0/24 link numbering in one octet
 class GeneratedNetwork:
     """Generator output: topology, prose description, and family name.
 
-    Seeded families (random/waxman) also record the seed and the role
-    spec they placed; the hand-shaped families leave both at their
-    defaults."""
+    Seeded families (random/waxman) also record the seed, the role spec
+    they placed, and the placement strategy (``seeded``/``degree``);
+    the hand-shaped families leave all three at their defaults."""
 
     topology: Topology
     description: str
     family: str
     seed: Optional[int] = None
     roles: Optional[str] = None
+    place: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -387,14 +388,16 @@ def generate_network(
     seed: int = 0,
     roles: "object | str | None" = None,
     params: "Dict[str, float] | str | None" = None,
+    place: "str | None" = None,
 ) -> GeneratedNetwork:
     """Generate one network of the named family.
 
     ``seed``, ``roles`` (a :class:`~repro.topology.roles.RoleSpec` or
-    its string form, e.g. ``c2i3h2``), and ``params`` (family knobs,
-    e.g. ``p=0.4`` or ``alpha=0.5,beta=0.7``) apply to the seeded
-    random families only; the hand-shaped families are fully determined
-    by their size and reject non-default values rather than silently
+    its string form, e.g. ``c2i3h2``), ``params`` (family knobs, e.g.
+    ``p=0.4`` or ``alpha=0.5,beta=0.7``), and ``place`` (role-placement
+    strategy: ``seeded`` or ``degree``) apply to the seeded random
+    families only; the hand-shaped families are fully determined by
+    their size and reject non-default values rather than silently
     ignoring them.
     """
     try:
@@ -403,8 +406,8 @@ def generate_network(
         known = ", ".join(sorted(FAMILIES))
         raise ValueError(f"unknown family {family!r} (known: {known})") from None
     if family in SEEDED_FAMILIES:
-        return generator(size, seed=seed, roles=roles, params=params)
-    from .randomnet import parse_topo_params
+        return generator(size, seed=seed, roles=roles, params=params, place=place)
+    from .randomnet import coerce_placement, parse_topo_params
     from .roles import RoleSpec
 
     if RoleSpec.coerce(roles) is not None:
@@ -416,5 +419,11 @@ def generate_network(
         raise ValueError(
             f"family {family!r} takes no topology knobs; knobs apply to "
             f"the seeded families ({', '.join(sorted(SEEDED_FAMILIES))})"
+        )
+    if coerce_placement(place) != "seeded":
+        raise ValueError(
+            f"family {family!r} has a fixed role layout; placement "
+            f"strategies apply to the seeded families "
+            f"({', '.join(sorted(SEEDED_FAMILIES))})"
         )
     return generator(size)

@@ -22,9 +22,19 @@ through those representatives, so connectivity never depends on luck.
 
 Role placement is part of generation: a
 :class:`~repro.topology.roles.RoleSpec` (default: one customer, up to
-three single-homed ISPs) is placed on distinct, seed-shuffled routers —
-multi-homed ISPs get one attachment per home, transit-forbidden peers
-ride the same community-slot space as the ISPs.
+three single-homed ISPs) is placed on distinct routers — multi-homed
+ISPs get one attachment per home, transit-forbidden peers ride the same
+community-slot space as the ISPs.  Two placement strategies exist:
+
+* ``seeded`` (default) — every role lands on a seed-shuffled router;
+* ``degree`` — customers are pinned to the *lowest-degree* routers
+  (ties broken by router index), modelling customers on the network
+  edge; ISPs/peers still seed-shuffle over the remaining routers.
+
+The strategy never alters the sampled graph: the same (family, size,
+seed, knobs, roles) draws the same edges under either placement, so a
+placement ablation compares placements on identical graphs, and each
+(…, place) cell is byte-deterministic.
 """
 
 from __future__ import annotations
@@ -40,10 +50,28 @@ __all__ = [
     "DEFAULT_EDGE_PROBABILITY",
     "DEFAULT_WAXMAN_ALPHA",
     "DEFAULT_WAXMAN_BETA",
+    "PLACEMENTS",
+    "coerce_placement",
     "generate_random_network",
     "generate_waxman_network",
     "parse_topo_params",
 ]
+
+PLACEMENTS = ("seeded", "degree")
+
+
+def coerce_placement(place: "str | None") -> str:
+    """``None``/``""``/``"default"`` -> ``seeded``; otherwise validate."""
+    if place is None:
+        return "seeded"
+    text = str(place).strip()
+    if not text or text == "default":
+        return "seeded"
+    if text not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {place!r} (known: {', '.join(PLACEMENTS)})"
+        )
+    return text
 
 DEFAULT_EDGE_PROBABILITY = 0.35
 DEFAULT_WAXMAN_ALPHA = 0.4
@@ -134,15 +162,35 @@ def _place_roles(
     spec: RoleSpec,
     size: int,
     rng: random.Random,
+    degrees: "Dict[int, int] | None" = None,
+    place: str = "seeded",
 ) -> None:
-    """Attach the spec's roles to distinct, seed-shuffled routers."""
+    """Attach the spec's roles to distinct routers.
+
+    ``seeded`` shuffles every router; ``degree`` pins the customers to
+    the lowest-degree routers (ties by index — deterministic without
+    touching the RNG) and shuffles only the remaining hosts for the
+    ISPs/peers, so both strategies consume the RNG *after* the same
+    graph was sampled and the graph itself is placement-independent.
+    """
     if spec.attachments > size:
         raise ValueError(
             f"role spec {spec.key()} needs {spec.attachments} border "
             f"routers but the network has only {size}"
         )
-    hosts = list(range(1, size + 1))
-    rng.shuffle(hosts)
+    if place == "degree":
+        by_degree = sorted(
+            range(1, size + 1),
+            key=lambda node: ((degrees or {}).get(node, 0), node),
+        )
+        customer_hosts = by_degree[: spec.customers]
+        taken = set(customer_hosts)
+        rest = [node for node in range(1, size + 1) if node not in taken]
+        rng.shuffle(rest)
+        hosts = customer_hosts + rest
+    else:
+        hosts = list(range(1, size + 1))
+        rng.shuffle(hosts)
     cursor = 0
     for ordinal in range(1, spec.customers + 1):
         builder.attach_customer(hosts[cursor], ordinal=ordinal)
@@ -167,18 +215,21 @@ def _build(
     stitched: Sequence[Tuple[int, int]],
     spec: RoleSpec,
     rng: random.Random,
+    place: str = "seeded",
 ):
     from .families import _Builder
 
     builder = _Builder(f"{family}-{size}", size)
-    for a, b in edges:
+    degrees: Dict[int, int] = {}
+    for a, b in list(edges) + list(stitched):
         builder.link(a, b)
-    for a, b in stitched:
-        builder.link(a, b)
-    _place_roles(builder, spec, size, rng)
+        degrees[a] = degrees.get(a, 0) + 1
+        degrees[b] = degrees.get(b, 0) + 1
+    _place_roles(builder, spec, size, rng, degrees=degrees, place=place)
     network = builder.finish(family)
     network.seed = seed
     network.roles = spec.key()
+    network.place = place
     return network
 
 
@@ -187,6 +238,7 @@ def generate_random_network(
     seed: int = 0,
     roles: "RoleSpec | str | None" = None,
     params: "Dict[str, float] | str | None" = None,
+    place: "str | None" = None,
 ):
     """A connected seeded Erdős–Rényi network with placed roles."""
     from .families import _check_size
@@ -198,6 +250,7 @@ def generate_random_network(
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
     spec = RoleSpec.coerce(roles) or RoleSpec.default_for(size)
+    placement = coerce_placement(place)
     rng = _topology_rng("random", size, seed, f"p={p!r}:{spec.key()}")
     edges = set()
     for a in range(1, size + 1):
@@ -205,7 +258,9 @@ def generate_random_network(
             if rng.random() < p:
                 edges.add((a, b))
     stitched = _stitch_components(size, edges)
-    return _build("random", size, seed, sorted(edges), stitched, spec, rng)
+    return _build(
+        "random", size, seed, sorted(edges), stitched, spec, rng, placement
+    )
 
 
 def generate_waxman_network(
@@ -213,6 +268,7 @@ def generate_waxman_network(
     seed: int = 0,
     roles: "RoleSpec | str | None" = None,
     params: "Dict[str, float] | str | None" = None,
+    place: "str | None" = None,
 ):
     """A connected seeded Waxman network with placed roles."""
     from .families import _check_size
@@ -227,6 +283,7 @@ def generate_waxman_network(
     if not 0.0 <= beta <= 1.0:
         raise ValueError(f"waxman beta must be in [0, 1], got {beta}")
     spec = RoleSpec.coerce(roles) or RoleSpec.default_for(size)
+    placement = coerce_placement(place)
     rng = _topology_rng(
         "waxman", size, seed, f"alpha={alpha!r}:beta={beta!r}:{spec.key()}"
     )
@@ -248,4 +305,6 @@ def generate_waxman_network(
             if rng.random() < beta * math.exp(-distance / (alpha * scale)):
                 edges.add((a, b))
     stitched = _stitch_components(size, edges)
-    return _build("waxman", size, seed, sorted(edges), stitched, spec, rng)
+    return _build(
+        "waxman", size, seed, sorted(edges), stitched, spec, rng, placement
+    )

@@ -271,13 +271,16 @@ class TestWorkerToggles:
             set_incremental_simulation,
         )
         from repro.experiments.campaign import _init_worker
+        from repro.netmodel.route import route_model
         from repro.symbolic.memo import memoization_enabled, set_memoization
 
         try:
-            _init_worker(False, False)
+            _init_worker(False, False, "v1")
             assert not memoization_enabled()
             assert not incremental_simulation_enabled()
+            assert route_model() == "v1"
         finally:
-            _init_worker(True, True)
+            _init_worker(True, True, "v2")
         assert memoization_enabled()
         assert incremental_simulation_enabled()
+        assert route_model() == "v2"

@@ -1,0 +1,85 @@
+"""The ``--place`` campaign axis: degree-aware placement end to end."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignSummary,
+    Scenario,
+    build_grid,
+    run_scenario,
+    scenario_seed,
+    topology_seed,
+)
+
+
+class TestGridAxis:
+    def test_place_multiplies_the_grid(self):
+        grid = build_grid(
+            ["random"], [8], seeds=1,
+            roles=("c2i2h1",), places=("default", "degree"),
+        )
+        assert len(grid) == 2
+        keys = [scenario.key() for scenario in grid]
+        assert any(key.endswith(":degree") for key in keys)
+        assert any(key.endswith(":default") for key in keys)
+
+    def test_equivalent_spellings_normalize_to_one_cell(self):
+        """'seeded', '', and 'default' are the same strategy — they
+        collapse to one cell instead of fanning the identical
+        placement out under distinct scenario keys."""
+        grid = build_grid(
+            ["random"], [8], seeds=1,
+            places=("default", "seeded", ""),
+        )
+        assert len(grid) == 1
+        assert grid[0].place == "default"
+        # ...and 'seeded' alone works even on fixed-layout families.
+        fixed = build_grid(["chain"], [6], seeds=1, places=("seeded",))
+        assert fixed[0].place == "default"
+
+    def test_place_requires_seeded_families(self):
+        with pytest.raises(ValueError, match="seeded families"):
+            build_grid(["random", "chain"], [6], seeds=1, places=("degree",))
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            build_grid(["random"], [6], seeds=1, places=("centrality",))
+
+    def test_place_shapes_the_scenario_seed_but_not_the_graph(self):
+        base = Scenario(family="random", size=8, seed=0, roles="c2i2h1")
+        placed = Scenario(
+            family="random", size=8, seed=0, roles="c2i2h1", place="degree"
+        )
+        assert scenario_seed(base) != scenario_seed(placed)
+        # Placement relocates roles on the sampled graph; it must not
+        # re-sample it, so ablation cells share warm simulation state.
+        assert topology_seed(base) == topology_seed(placed)
+
+
+class TestDegreeScenario:
+    def test_degree_scenario_verifies(self):
+        scenario = Scenario(
+            family="random", size=8, seed=0, roles="c2i2h1", place="degree"
+        )
+        row = run_scenario(scenario)
+        assert row.error is None
+        assert row.verified and row.global_ok
+        assert row.place == "degree"
+        assert row.roles_total == 4
+        assert row.roles_ok == row.roles_total
+
+    def test_place_carried_in_summary_artifacts(self, tmp_path):
+        scenario = Scenario(
+            family="random", size=8, seed=0, roles="c2i2h1", place="degree"
+        )
+        summary = CampaignSummary(rows=[run_scenario(scenario)])
+        data = json.loads(
+            summary.write_json(tmp_path / "out.json").read_text()
+        )
+        assert data["rows"][0]["place"] == "degree"
+        csv_text = (summary.write_csv(tmp_path / "out.csv")).read_text()
+        header, first = csv_text.splitlines()[:2]
+        assert "place" in header.split(",")
+        assert "degree" in first.split(",")

@@ -34,7 +34,7 @@ class TestGridAxes:
         assert len(grid) == 2 * 2 * 2 * 2
         keys = [scenario.key() for scenario in grid]
         assert len(keys) == len(set(keys))
-        assert any(key.endswith(":c2i2h1:p=0.5") for key in keys)
+        assert any(key.endswith(":c2i2h1:p=0.5:default") for key in keys)
 
     def test_axes_are_part_of_the_seed(self):
         base = Scenario(family="random", size=6, seed=0)
