@@ -11,10 +11,13 @@ waxman cell extends the equivalence check to role-assigned graphs.
 
 Emits a JSON report; runnable standalone for the CI smoke job::
 
-    python benchmarks/bench_route_model.py --small --json out.json
+    python benchmarks/bench_route_model.py --small --json out.json --check
 
 The committed ``BENCH_route_model.json`` at the repo root records the
-full run (the acceptance target is >=1.5x on the largest mesh).
+full run.  ``--check`` turns the acceptance gates into the exit code:
+the largest-mesh speedup must stay >=1.5x and every row must report
+``routes_reused > 0`` (a zero means the per-session candidate reuse
+path stopped counting — the exact regression this gate exists to catch).
 """
 
 import argparse
@@ -93,6 +96,13 @@ def main(argv=None):
         help="one small mesh + small roled cell (CI smoke)",
     )
     parser.add_argument("--json", default=None, help="write the report here")
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit 1 unless largest_mesh_speedup >= 1.5 and every row "
+            "has routes_reused > 0 (the CI gate)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     mesh_sizes = SMALL_MESH_SIZES if args.small else MESH_SIZES
@@ -135,6 +145,20 @@ def main(argv=None):
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.json}")
+    if args.check:
+        failures = []
+        if largest["speedup"] is None or largest["speedup"] < 1.5:
+            failures.append(
+                f"largest_mesh_speedup {largest['speedup']} < 1.5"
+            )
+        for row in rows + [roled_row]:
+            if not row["routes_reused"]:
+                failures.append(f"{row['label']}: routes_reused == 0")
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("checks passed: speedup >= 1.5x, routes_reused > 0 everywhere")
     return 0
 
 

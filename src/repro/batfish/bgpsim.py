@@ -13,7 +13,17 @@ The simulator:
   route-map, AS-path prepending, AS-loop rejection, and the receiver's
   import route-map;
 * runs standard best-path selection (local-pref, AS-path length, MED,
-  tie-break on advertiser name for determinism).
+  total tie-break on advertiser then originator name for determinism).
+
+Best-path selection is driven by a *decision cache*: every
+:class:`RibEntry` computes its C-ordered decision tuple once at
+construction (``RibEntry.decision_key``), so comparing two candidates
+is a single tuple ``<`` and ``_advertise`` picks each (router, prefix)
+winner with a ``min()`` over those tuples.  :func:`set_decision_cache`
+keeps the historical attribute-cascade comparator alive for A/B
+benchmarking; both orders are identical by construction (the
+decision-order property tests assert tuple-vs-cascade agreement over
+randomized entries).
 
 Communities always propagate (Junos default); the experiments' policies
 tag and filter within a single router, so Cisco's ``send-community``
@@ -47,9 +57,15 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..netmodel.device import RouterConfig
 from ..netmodel.ip import Ipv4Address, Prefix
+from ..netmodel.route import _STATS as _ROUTE_STATS
 from ..netmodel.route import Protocol, Route, route_model_is_v2
 from ..netmodel.routebuilder import RouteBuilder, export_route
-from ..netmodel.routing_policy import Action, PolicyEvaluationError
+from ..netmodel.routing_policy import (
+    Action,
+    PolicyEvaluationError,
+    SetLocalPref,
+    SetMed,
+)
 from ..netmodel.aspath import AsPath
 
 __all__ = [
@@ -59,10 +75,12 @@ __all__ = [
     "RibEntry",
     "SimulationState",
     "batched_evaluation_enabled",
+    "decision_cache_enabled",
     "incremental_simulation_enabled",
     "reset_sim_stats",
     "rib_snapshots",
     "set_batched_evaluation",
+    "set_decision_cache",
     "set_incremental_simulation",
     "sim_totals",
 ]
@@ -98,12 +116,63 @@ class RibEntry:
     crosses a changed router: everything about such an entry — the
     export maps applied, the prepends, the tags — was computed from a
     configuration that no longer exists.
+
+    ``decision_key`` is the C-ordered BGP decision tuple, computed once
+    at construction: ``(not locally-originated, -local_pref, as-path
+    length, med, learned_from, origin_router)``.  A plain tuple ``<``
+    prefers the better entry, so best-path selection is one comparison
+    instead of a cascade of attribute checks — and the final
+    ``(learned_from, origin_router)`` pair makes the tie-break *total*:
+    any two entries that differ in a decision-relevant attribute are
+    strictly ordered, independent of arrival order.
     """
 
     route: Route
     learned_from: Optional[str]  # hostname, or None for locally originated
     origin_router: str  # hostname of the originator
     path: Tuple[str, ...] = ()  # routers traversed, origin first
+    decision_key: Tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "decision_key",
+            (self.learned_from is not None,)
+            + self.route.decision_slice()
+            + (self.learned_from or "", self.origin_router),
+        )
+
+    @classmethod
+    def _learned(
+        cls,
+        route: Route,
+        learned_from: str,
+        origin_router: str,
+        path: Tuple[str, ...],
+    ) -> "RibEntry":
+        """Hot-path constructor for session-learned entries: builds the
+        decision key flat and skips the dataclass ``__init__`` /
+        ``__post_init__`` chain (the export pipeline constructs one
+        entry per candidate, so this is converge-dominant)."""
+        entry = object.__new__(cls)
+        new = object.__setattr__
+        new(entry, "route", route)
+        new(entry, "learned_from", learned_from)
+        new(entry, "origin_router", origin_router)
+        new(entry, "path", path)
+        new(
+            entry,
+            "decision_key",
+            (
+                True,  # learned, never locally originated
+                -route.local_pref,
+                len(route.as_path.asns),
+                route.med,
+                learned_from,
+                origin_router,
+            ),
+        )
+        return entry
 
     @property
     def is_local(self) -> bool:
@@ -128,6 +197,9 @@ class BgpSimulation:
         # for the lifetime of a simulation, so each policy is bound to
         # its config once per convergence, not once per session visit.
         self._prepared: Dict[Tuple[int, str], object] = {}
+        # route-map id -> whether its set chains can improve a route's
+        # decision attributes (same lifetime guarantee as _prepared).
+        self._neutral: Dict[int, bool] = {}
         # (sender, receiver) -> {prefix: (rib entry, candidate or None)}.
         # Configs never change within one simulation and routes are
         # immutable flyweights, so advertising the *same* RIB entry
@@ -410,57 +482,102 @@ class BgpSimulation:
                 for prefix in sorted(prefixes, key=str)
                 if prefix in rib
             ]
+        if v2:
+            # The receiver's RIB and the decision-cache toggle are
+            # loop-invariant; with the cache on, the per-(router, prefix)
+            # winner is picked by a min() over decision tuples right
+            # here — no pairwise _install call per candidate.
+            receiver_rib = self._ribs[receiver]
+            batch = _DECISION_CACHE
+            # Loser pre-screen: when neither session policy can improve
+            # a route's decision attributes, the candidate's best
+            # possible decision key is computable from the sender's
+            # entry alone ((learned, -local_pref, len+1, med, sender,
+            # origin) — extra prepends only worsen it).  A candidate
+            # whose optimistic key does not beat the incumbent can never
+            # install, so the whole export pipeline is skipped for it.
+            screen = (
+                batch
+                and (export_map is None or self._decision_neutral(export_map))
+                and (import_map is None or self._decision_neutral(import_map))
+            )
+            for entry in entries:
+                if entry.learned_from == receiver:
+                    continue  # do not reflect a route back to its source
+                self.evaluations += 1
+                prefix = entry.route.prefix
+                cached = session_cache.get(prefix)
+                if cached is not None and cached[0] is entry:
+                    # Same sender entry as last round: the export
+                    # pipeline's output (candidate or denial) is reused
+                    # verbatim instead of being rebuilt.
+                    candidate = cached[1]
+                    _ROUTE_STATS["routes_reused"] += 1
+                    if candidate is None:
+                        continue  # denied last time; entry unchanged
+                else:
+                    if screen:
+                        incumbent = receiver_rib.get(prefix)
+                        if incumbent is not None:
+                            route = entry.route
+                            optimistic = (
+                                True,
+                                -route.local_pref,
+                                len(route.as_path.asns) + 1,
+                                route.med,
+                                sender,
+                                entry.origin_router,
+                            )
+                            if not optimistic < incumbent.decision_key:
+                                continue  # cannot beat the incumbent
+                    candidate = self._export_candidate(
+                        entry,
+                        export_find,
+                        import_find,
+                        sender,
+                        sender_asn,
+                        receiver_asn,
+                        session.local_ip,
+                    )
+                    session_cache[prefix] = (entry, candidate)
+                    if candidate is None:
+                        continue
+                if batch:
+                    incumbent = receiver_rib.get(prefix)
+                    if incumbent is None or (
+                        incumbent is not candidate
+                        and candidate.decision_key < incumbent.decision_key
+                    ):
+                        receiver_rib[prefix] = candidate
+                        changed.add(prefix)
+                elif self._install(receiver, candidate):
+                    changed.add(prefix)
+            return changed
         for entry in entries:
             if entry.learned_from == receiver:
                 continue  # do not reflect a route back to its source
             self.evaluations += 1
-            if v2:
-                prefix = entry.route.prefix
-                cached = session_cache.get(prefix)
-                if cached is not None and cached[0] is entry:
-                    candidate = cached[1]
-                    if candidate is None:
-                        continue  # denied last time; entry unchanged
-                    if self._install(receiver, candidate):
-                        changed.add(prefix)
+            advertised = entry.route
+            if export_eval is not None:
+                try:
+                    outcome = export_eval(advertised)
+                except PolicyEvaluationError:
                     continue
-                candidate = self._export_candidate(
-                    entry,
-                    export_find,
-                    import_find,
-                    sender,
-                    sender_asn,
-                    receiver_asn,
-                    session.local_ip,
-                )
-                session_cache[prefix] = (entry, candidate)
-                if candidate is None:
+                if outcome.action is Action.DENY:
                     continue
-                if self._install(receiver, candidate):
-                    changed.add(prefix)
-                continue
-            else:
-                advertised = entry.route
-                if export_eval is not None:
-                    try:
-                        outcome = export_eval(advertised)
-                    except PolicyEvaluationError:
-                        continue
-                    if outcome.action is Action.DENY:
-                        continue
-                    advertised = outcome.route
-                advertised = advertised.with_as_prepended(sender_asn)
-                advertised = advertised.with_next_hop(session.local_ip)
-                if advertised.as_path.contains(receiver_asn):
-                    continue  # AS-loop prevention
-                if import_eval is not None:
-                    try:
-                        outcome = import_eval(advertised)
-                    except PolicyEvaluationError:
-                        continue
-                    if outcome.action is Action.DENY:
-                        continue
-                    advertised = outcome.route
+                advertised = outcome.route
+            advertised = advertised.with_as_prepended(sender_asn)
+            advertised = advertised.with_next_hop(session.local_ip)
+            if advertised.as_path.contains(receiver_asn):
+                continue  # AS-loop prevention
+            if import_eval is not None:
+                try:
+                    outcome = import_eval(advertised)
+                except PolicyEvaluationError:
+                    continue
+                if outcome.action is Action.DENY:
+                    continue
+                advertised = outcome.route
             candidate = RibEntry(
                 route=advertised,
                 learned_from=sender,
@@ -528,11 +645,8 @@ class BgpSimulation:
                 import_builder = RouteBuilder(advertised)
                 clause.apply_sets(import_builder)
                 advertised = import_builder.freeze()
-        return RibEntry(
-            route=advertised,
-            learned_from=sender,
-            origin_router=entry.origin_router,
-            path=entry.path + (sender,),
+        return RibEntry._learned(
+            advertised, sender, entry.origin_router, entry.path + (sender,)
         )
 
     def _prepared_policy(self, config: RouterConfig, route_map):
@@ -542,6 +656,22 @@ class BgpSimulation:
             prepared = route_map.prepare(config)
             self._prepared[key] = prepared
         return prepared
+
+    def _decision_neutral(self, route_map) -> bool:
+        """Whether the map's set chains cannot *improve* a route's
+        decision attributes: no ``set local-preference`` and no ``set
+        med`` anywhere (prepends only lengthen the AS path, i.e. only
+        worsen it).  Licenses the loser pre-screen in ``_advertise``."""
+        key = id(route_map)
+        cached = self._neutral.get(key)
+        if cached is None:
+            cached = not any(
+                isinstance(set_action, (SetLocalPref, SetMed))
+                for clause in route_map.clauses
+                for set_action in clause.sets
+            )
+            self._neutral[key] = cached
+        return cached
 
     def _neighbor_policy(
         self, config: RouterConfig, neighbor_ip: Ipv4Address, direction: str
@@ -558,31 +688,35 @@ class BgpSimulation:
         return config.get_route_map(name)
 
     def _install(self, hostname: str, candidate: RibEntry) -> bool:
-        """Install if better than the current best; returns True on change."""
+        """Install if better than the current best; returns True on change.
+
+        The no-op check runs *first*: an identical (or indistinguishable)
+        candidate returns False through the same branch whether it ties
+        or loses, so incremental re-simulation's dirty tracking sees the
+        exact change set a full run would.
+        """
         rib = self._ribs[hostname]
         incumbent = rib.get(candidate.route.prefix)
-        if incumbent is None or self._better(candidate, incumbent):
-            if incumbent is not None and _same_entry(incumbent, candidate):
+        if incumbent is not None:
+            if incumbent is candidate or _same_entry(incumbent, candidate):
                 return False
-            rib[candidate.route.prefix] = candidate
-            return True
-        return False
+            if not self._better(candidate, incumbent):
+                return False
+        rib[candidate.route.prefix] = candidate
+        return True
 
     @staticmethod
     def _better(candidate: RibEntry, incumbent: RibEntry) -> bool:
-        """Standard BGP decision process (deterministic tie-break)."""
-        candidate_local = candidate.learned_from is None
-        if candidate_local != (incumbent.learned_from is None):
-            return candidate_local  # locally originated wins
-        left, right = candidate.route, incumbent.route
-        if left.local_pref != right.local_pref:
-            return left.local_pref > right.local_pref
-        left_asns, right_asns = left.as_path.asns, right.as_path.asns
-        if left_asns is not right_asns and len(left_asns) != len(right_asns):
-            return len(left_asns) < len(right_asns)
-        if left.med != right.med:
-            return left.med < right.med
-        return (candidate.learned_from or "") < (incumbent.learned_from or "")
+        """Standard BGP decision process (deterministic, *total*
+        tie-break).  With the decision cache on (the default) this is a
+        single tuple ``<`` over the keys computed at entry construction;
+        off, the historical attribute cascade — both end in the same
+        ``(learned_from, origin_router)`` tie-break, so the two paths
+        order every entry pair identically (the decision-order property
+        tests assert it)."""
+        if _DECISION_CACHE:
+            return candidate.decision_key < incumbent.decision_key
+        return _legacy_better(candidate, incumbent)
 
 
 def rib_snapshots(simulation: BgpSimulation) -> Dict[str, Dict[Prefix, Tuple]]:
@@ -600,17 +734,38 @@ def rib_snapshots(simulation: BgpSimulation) -> Dict[str, Dict[Prefix, Tuple]]:
     }
 
 
+def _legacy_better(candidate: RibEntry, incumbent: RibEntry) -> bool:
+    """The pre-cache attribute cascade, kept for the A/B toggle and as
+    the oracle the decision-order property tests compare tuples against."""
+    candidate_local = candidate.learned_from is None
+    if candidate_local != (incumbent.learned_from is None):
+        return candidate_local  # locally originated wins
+    left, right = candidate.route, incumbent.route
+    if left.local_pref != right.local_pref:
+        return left.local_pref > right.local_pref
+    left_asns, right_asns = left.as_path.asns, right.as_path.asns
+    if left_asns is not right_asns and len(left_asns) != len(right_asns):
+        return len(left_asns) < len(right_asns)
+    if left.med != right.med:
+        return left.med < right.med
+    if candidate.learned_from != incumbent.learned_from:
+        return (candidate.learned_from or "") < (incumbent.learned_from or "")
+    # Total tie-break: two equally-attributed entries from the same
+    # neighbor (or both locally originated, where learned_from is None
+    # on both sides) are ordered by originator, never by arrival order.
+    return candidate.origin_router < incumbent.origin_router
+
+
 def _same_entry(left: RibEntry, right: RibEntry) -> bool:
     """Whether two entries are indistinguishable (the no-op install
-    check).  Field-by-field with interned attributes first — no tuple
-    construction on the hot path."""
+    check).  The cached decision key screens out most mismatches in one
+    tuple compare (it covers provenance, local-pref, path length, and
+    MED); only the attributes outside the decision process remain."""
+    if left.decision_key != right.decision_key:
+        return False
     a, b = left.route, right.route
     return (
-        left.learned_from == right.learned_from
-        and left.origin_router == right.origin_router
-        and a.med == b.med
-        and a.local_pref == b.local_pref
-        and (a.as_path is b.as_path or a.as_path.asns == b.as_path.asns)
+        (a.as_path is b.as_path or a.as_path.asns == b.as_path.asns)
         and (a.communities is b.communities or a.communities == b.communities)
         and a.next_hop == b.next_hop
         and a.prefix == b.prefix
@@ -633,6 +788,31 @@ def _entry_key(entry: RibEntry) -> Tuple:
         entry.learned_from,
         entry.origin_router,
     )
+
+
+# -- the decision cache --------------------------------------------------------
+
+_DECISION_CACHE = True
+
+
+def set_decision_cache(enabled: bool) -> None:
+    """Enable/disable decision-tuple best-path selection.
+
+    When on (the default), :meth:`BgpSimulation._better` is a single
+    ``<`` over the ``decision_key`` tuples cached on each
+    :class:`RibEntry`, and ``_advertise`` selects the per-(router,
+    prefix) winner with a ``min()`` over those tuples instead of a
+    pairwise ``_install`` call per candidate.  Off restores the
+    historical attribute-cascade comparator so benchmarks and the
+    differential suite can compare the two paths; both use the same
+    total ``(learned_from, origin_router)`` tie-break, so RIBs are
+    identical either way (mirrors :func:`set_batched_evaluation`)."""
+    global _DECISION_CACHE
+    _DECISION_CACHE = bool(enabled)
+
+
+def decision_cache_enabled() -> bool:
+    return _DECISION_CACHE
 
 
 # -- batched policy evaluation -------------------------------------------------

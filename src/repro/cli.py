@@ -27,9 +27,11 @@ after N scenarios (a deterministic interrupt for smoke tests).
 artifacts) from an existing journal without running anything — repeat
 the flag to merge several campaigns into one cross-campaign summary
 (duplicate scenario keys resolved last-flag-wins);
-``--no-incremental-sim`` disables warm incremental BGP re-simulation
-and ``--route-model v1`` restores the historical per-attribute route
-copies, both for A/B comparisons.
+``--no-incremental-sim`` disables warm incremental BGP re-simulation,
+``--route-model v1`` restores the historical per-attribute route
+copies, ``--no-decision-cache`` disables cached best-path decision
+tuples, and ``--ship config`` pickles parent-materialized networks to
+workers instead of shipping coordinates — all for A/B comparisons.
 """
 
 from __future__ import annotations
@@ -231,6 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--ship",
+        choices=("coords", "config"),
+        default="coords",
+        help=(
+            "campaign worker payload: coords (default, ship scenario "
+            "coordinates and regenerate networks in the worker) or "
+            "config (pickle parent-materialized networks to workers, "
+            "for A/B comparisons)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-decision-cache",
+        action="store_true",
+        help=(
+            "disable the cached best-path decision tuples and batched "
+            "candidate comparison (A/B comparisons)"
+        ),
+    )
+    campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
     )
     return parser
@@ -353,11 +374,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .batfish.bgpsim import set_incremental_simulation
+    from .batfish.bgpsim import set_decision_cache, set_incremental_simulation
     from .netmodel.route import set_route_model
     from .experiments.campaign import (
         build_grid,
         run_campaign,
+        set_worker_shipping,
         summary_from_journals,
     )
 
@@ -383,6 +405,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--topo", args.topo is not None),
                 ("--place", args.place is not None),
                 ("--route-model", args.route_model != defaults.route_model),
+                ("--ship", args.ship != defaults.ship),
+                ("--no-decision-cache", args.no_decision_cache),
             )
             if given
         ]
@@ -406,7 +430,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.no_incremental_sim:
         set_incremental_simulation(False)
+    if args.no_decision_cache:
+        set_decision_cache(False)
     set_route_model(args.route_model)
+    set_worker_shipping(args.ship)
     families = [item for item in args.families.split(",") if item]
     profiles = [item for item in args.profiles.split(",") if item]
     try:

@@ -17,6 +17,8 @@ from .campaign import (
     build_grid,
     run_campaign,
     run_scenario,
+    set_worker_shipping,
+    worker_shipping,
 )
 from .data import BATFISH_EXAMPLE_CISCO, load_translation_source
 from .iip_ablation import IipAblationResult, run_iip_ablation
@@ -26,7 +28,11 @@ from .local_vs_global import (
     OscillatingGlobalModel,
     run_local_vs_global,
 )
-from .no_transit import NoTransitExperiment, run_no_transit_experiment
+from .no_transit import (
+    NoTransitExperiment,
+    materialize_network,
+    run_no_transit_experiment,
+)
 from .prompts import sample_synthesis_prompts, sample_translation_prompts
 from .scaling import ScalingPoint, run_scaling_sweep
 from .translation import (
@@ -52,6 +58,7 @@ __all__ = [
     "TranslationExperiment",
     "build_grid",
     "load_translation_source",
+    "materialize_network",
     "run_campaign",
     "run_iip_ablation",
     "run_incremental_policy_experiment",
@@ -64,4 +71,6 @@ __all__ = [
     "run_translation_experiment",
     "sample_synthesis_prompts",
     "sample_translation_prompts",
+    "set_worker_shipping",
+    "worker_shipping",
 ]

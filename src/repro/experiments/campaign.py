@@ -44,7 +44,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
 from ..batfish.bgpsim import (
+    decision_cache_enabled,
     incremental_simulation_enabled,
+    set_decision_cache,
     set_incremental_simulation,
     sim_totals,
 )
@@ -68,9 +70,11 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "scenario_seed",
+    "set_worker_shipping",
     "summary_from_journal",
     "summary_from_journals",
     "topology_seed",
+    "worker_shipping",
 ]
 
 # v2 added the grid's scenario keys to the header; v3 added the
@@ -89,6 +93,67 @@ PROFILES: Dict[str, BehaviorProfile] = {
         fix_with_regression=0.08,
     ),
 }
+
+
+# -- the worker-shipping A/B toggle --------------------------------------------
+#
+# How a campaign hands scenarios to pool workers.  "coords" (the
+# default) ships only the Scenario coordinate tuple and lets each
+# worker regenerate its network locally — generation is byte-
+# deterministic, so the worker's configs are identical to the parent's,
+# and the task payload stays a few hundred bytes no matter the topology
+# size.  "config" restores the heavyweight mode: the parent
+# materializes every network and pickles it into the task payload,
+# which is what campaigns effectively did when results carried whole
+# configs.  Both modes must be observationally identical — the
+# worker-shipping differential tests assert it.
+
+_SHIP_MODE = "coords"
+
+
+def set_worker_shipping(mode: str) -> None:
+    """Select the campaign worker payload: ``"coords"`` or ``"config"``.
+
+    ``coords`` ships scenario coordinates and regenerates networks in
+    the worker (cheap payloads, fork-inherited warm simulation states);
+    ``config`` materializes networks in the parent and pickles them to
+    workers (the legacy heavy mode, kept for A/B comparison — mirrors
+    ``set_route_model`` / ``set_incremental_simulation``).
+    """
+    if mode not in ("coords", "config"):
+        raise ValueError(
+            f"unknown worker shipping mode {mode!r} "
+            f"(expected coords or config)"
+        )
+    global _SHIP_MODE
+    _SHIP_MODE = mode
+
+
+def worker_shipping() -> str:
+    return _SHIP_MODE
+
+
+def _materialize_for_shipping(scenario: Scenario):
+    """Parent-side network generation for config-shipping mode.
+
+    Returns ``None`` when generation fails: the worker then regenerates
+    from coordinates and hits the same deterministic exception inside
+    :func:`run_scenario`'s error handling, producing the identical
+    error row a coords-mode campaign would journal.
+    """
+    from .no_transit import materialize_network
+
+    try:
+        return materialize_network(
+            scenario.family,
+            scenario.size,
+            roles=scenario.roles,
+            topo=scenario.topo,
+            topology_seed=topology_seed(scenario),
+            place=scenario.place,
+        )
+    except Exception:
+        return None
 
 
 @dataclass(frozen=True)
@@ -304,8 +369,14 @@ def build_grid(
     ]
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
+def run_scenario(scenario: Scenario, network=None) -> ScenarioResult:
     """Execute one scenario through the full synthesis loop.
+
+    ``network`` is an optional pre-materialized network for the same
+    coordinates (config-shipping mode); without it the network is
+    regenerated here from the scenario coordinates (coords mode) —
+    generation is byte-deterministic, so both paths run on identical
+    configs.
 
     Never raises: failures come back as error rows so one broken
     scenario cannot take down a whole campaign (or its worker pool).
@@ -324,6 +395,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             topo=scenario.topo,
             topology_seed=topology_seed(scenario),
             place=scenario.place,
+            network=network,
         )
     except Exception as exc:
         return ScenarioResult(
@@ -386,15 +458,18 @@ class CompletedScenario:
     routes_reused: int = 0
 
 
-def execute_scenario(scenario: Scenario) -> CompletedScenario:
+def execute_scenario(scenario: Scenario, network=None) -> CompletedScenario:
     """Run one scenario; measure its symbolic-cache, BGP-simulation
     (full vs incremental convergences against the worker's warm
     per-topology simulation states), and route-datapath traffic
-    (builder freezes vs no-change reuses)."""
+    (builder freezes vs no-change reuses).
+
+    ``network`` carries a parent-materialized network in config-shipping
+    mode; coords mode leaves it ``None`` and regenerates in-worker."""
     hits_before, misses_before = cache_totals()
     sim_before = sim_totals()
     routes_before = route_totals()
-    row = run_scenario(scenario)
+    row = run_scenario(scenario, network)
     hits_after, misses_after = cache_totals()
     sim_after = sim_totals()
     routes_after = route_totals()
@@ -859,17 +934,27 @@ class CampaignSummary:
 # -- the engine ----------------------------------------------------------------
 
 
-def _init_worker(memoize: bool, incremental_sim: bool, model: str) -> None:
+def _init_worker(
+    memoize: bool,
+    incremental_sim: bool,
+    model: str,
+    decision_cache: bool = True,
+    ship: str = "coords",
+) -> None:
     """Propagate the parent's optimization toggles into a pool worker.
 
     Module globals do not survive the spawn/forkserver start methods,
     so the executor replays them explicitly — `--no-incremental-sim`,
-    `set_memoization(False)`, and `set_route_model("v1")` must govern
-    the workers that actually run the scenarios, on every platform.
+    `set_memoization(False)`, `set_route_model("v1")`,
+    `set_decision_cache(False)`, and `set_worker_shipping("config")`
+    must govern the workers that actually run the scenarios, on every
+    platform.
     """
     set_memoization(memoize)
     set_incremental_simulation(incremental_sim)
     set_route_model(model)
+    set_decision_cache(decision_cache)
+    set_worker_shipping(ship)
 
 
 def run_campaign(
@@ -930,9 +1015,18 @@ def run_campaign(
             # always orders by the grid that last owned the journal.
             _append(handle, _journal_header(grid))
     try:
+        # Config-shipping materializes every pending network in the
+        # parent and ships it in the task payload; coords mode ships
+        # nothing but the Scenario itself.  The serial path follows the
+        # same rule so workers=1 exercises whichever mode is selected.
+        ship_config = _SHIP_MODE == "config"
         if workers <= 1 or len(pending) <= 1:
             for scenario in pending:
-                record = execute_scenario(scenario)
+                network = (
+                    _materialize_for_shipping(scenario) if ship_config
+                    else None
+                )
+                record = execute_scenario(scenario, network)
                 completed[record.key] = record
                 if handle is not None:
                     _append(handle, _journal_line(record))
@@ -944,10 +1038,17 @@ def run_campaign(
                     memoization_enabled(),
                     incremental_simulation_enabled(),
                     route_model(),
+                    decision_cache_enabled(),
+                    _SHIP_MODE,
                 ),
             ) as executor:
                 futures = [
-                    executor.submit(execute_scenario, scenario)
+                    executor.submit(
+                        execute_scenario,
+                        scenario,
+                        _materialize_for_shipping(scenario) if ship_config
+                        else None,
+                    )
                     for scenario in pending
                 ]
                 for future in as_completed(futures):

@@ -25,7 +25,11 @@ from ..llm import (
 )
 from ..topology import StarNetwork, generate_network, generate_star_network
 
-__all__ = ["NoTransitExperiment", "run_no_transit_experiment"]
+__all__ = [
+    "NoTransitExperiment",
+    "materialize_network",
+    "run_no_transit_experiment",
+]
 
 DEFAULT_ROUTER_COUNT = 7  # Figure 4's star
 
@@ -76,28 +80,21 @@ class NoTransitExperiment:
         return counts
 
 
-def run_no_transit_experiment(
-    router_count: int = DEFAULT_ROUTER_COUNT,
-    seed: int = 0,
-    iip_ids: Sequence[str] = DEFAULT_IIP_IDS,
-    profile: Optional[BehaviorProfile] = None,
-    limits: Optional[LoopLimits] = None,
-    pair_programming: bool = False,
-    assignment: Optional[Dict[str, List[str]]] = None,
+def materialize_network(
     family: str = "star",
+    router_count: int = DEFAULT_ROUTER_COUNT,
     roles: Optional[str] = None,
     topo: Optional[str] = None,
     topology_seed: int = 0,
     place: Optional[str] = None,
-) -> NoTransitExperiment:
-    """Run the full §4 loop once and return everything measured.
+):
+    """Generate the network for a coordinate tuple.
 
-    ``family`` selects the topology generator (star, chain, ring, mesh,
-    dumbbell, random, waxman); the star keeps the paper's exact setup.
-    For the seeded families, ``topology_seed`` picks the graph, while
-    ``roles`` (a role spec such as ``c2i3h2``), ``topo`` (family knobs
-    such as ``p=0.4`` or ``alpha=0.5,beta=0.7``), and ``place`` (role
-    placement: ``seeded`` or ``degree``) shape what gets placed on it.
+    This is the single point where (family, size, roles, knobs, seed,
+    placement) coordinates become a concrete ``StarNetwork`` /
+    ``GeneratedNetwork`` — byte-deterministic, so callers are free to
+    materialize either in the parent process (config-shipping) or in a
+    campaign worker (coordinate-shipping) and get identical configs.
     """
     if family == "star":
         # The star keeps its dedicated generator (hub-policy layout),
@@ -122,16 +119,57 @@ def run_no_transit_experiment(
                 "family 'star' has a fixed role layout; placement "
                 "strategies apply to the seeded families (random, waxman)"
             )
-        star = generate_star_network(router_count)
-    else:
-        star = generate_network(
+        return generate_star_network(router_count)
+    return generate_network(
+        family,
+        router_count,
+        seed=topology_seed,
+        roles=roles,
+        params=topo,
+        place=place,
+    )
+
+
+def run_no_transit_experiment(
+    router_count: int = DEFAULT_ROUTER_COUNT,
+    seed: int = 0,
+    iip_ids: Sequence[str] = DEFAULT_IIP_IDS,
+    profile: Optional[BehaviorProfile] = None,
+    limits: Optional[LoopLimits] = None,
+    pair_programming: bool = False,
+    assignment: Optional[Dict[str, List[str]]] = None,
+    family: str = "star",
+    roles: Optional[str] = None,
+    topo: Optional[str] = None,
+    topology_seed: int = 0,
+    place: Optional[str] = None,
+    network=None,
+) -> NoTransitExperiment:
+    """Run the full §4 loop once and return everything measured.
+
+    ``family`` selects the topology generator (star, chain, ring, mesh,
+    dumbbell, random, waxman); the star keeps the paper's exact setup.
+    For the seeded families, ``topology_seed`` picks the graph, while
+    ``roles`` (a role spec such as ``c2i3h2``), ``topo`` (family knobs
+    such as ``p=0.4`` or ``alpha=0.5,beta=0.7``), and ``place`` (role
+    placement: ``seeded`` or ``degree``) shape what gets placed on it.
+
+    Pass ``network`` (a pre-materialized :func:`materialize_network`
+    result for the same coordinates) to skip generation — the campaign's
+    config-shipping mode uses this to run on a parent-built network.
+    """
+    star = (
+        materialize_network(
             family,
             router_count,
-            seed=topology_seed,
             roles=roles,
-            params=topo,
+            topo=topo,
+            topology_seed=topology_seed,
             place=place,
         )
+        if network is None
+        else network
+    )
     models = make_synthesis_models(
         star.topology,
         iip_ids=iip_ids,

@@ -83,7 +83,9 @@ _ROUTE_MODEL = "v2"
 
 _STATS = {
     "routes_built": 0,  # Route allocations through RouteBuilder.freeze
-    "routes_reused": 0,  # freeze() calls that returned the base unchanged
+    # Routes reused instead of rebuilt: no-change freeze() calls plus
+    # bgpsim's per-session candidate reuses across fixpoint rounds.
+    "routes_reused": 0,
 }
 
 
@@ -143,6 +145,7 @@ class Route:
         "protocol",
         "next_hop",
         "_hash",
+        "_decision",
     )
 
     def __init__(
@@ -170,6 +173,7 @@ class Route:
         new(self, "protocol", protocol)
         new(self, "next_hop", next_hop)
         new(self, "_hash", None)
+        new(self, "_decision", None)
 
     @classmethod
     def _from_canonical(
@@ -196,6 +200,7 @@ class Route:
         new(route, "protocol", protocol)
         new(route, "next_hop", next_hop)
         new(route, "_hash", None)
+        new(route, "_decision", None)
         return route
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -253,6 +258,19 @@ class Route:
         if result is NotImplemented:
             return result
         return not result
+
+    def decision_slice(self) -> tuple:
+        """The route's slice of the BGP decision tuple, C-ordered so a
+        plain ``<`` prefers the better route: ``(-local_pref,
+        as-path length, med)``.  Computed once and cached on the
+        (immutable, widely shared) route — ``RibEntry`` composes it
+        with provenance into its ``decision_key``.
+        """
+        cached = self._decision
+        if cached is None:
+            cached = (-self.local_pref, len(self.as_path.asns), self.med)
+            object.__setattr__(self, "_decision", cached)
+        return cached
 
     def __hash__(self) -> int:
         cached = self._hash

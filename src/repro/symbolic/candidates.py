@@ -307,12 +307,19 @@ class CandidateUniverse:
             base = Route(prefix=prefix)
             for communities in community_sets:
                 for protocol in protocols:
-                    builder = RouteBuilder(base)
-                    if communities:
-                        builder.set_communities(communities)
-                    if protocol is not base.protocol:
-                        builder.set_protocol(protocol)
-                    route = builder.freeze()
+                    if not communities and protocol is base.protocol:
+                        # No attribute differs from the base: yield it
+                        # directly instead of freezing a clean builder,
+                        # so the routes_reused counter stays a measure
+                        # of real datapath reuse, not enumeration churn.
+                        route = base
+                    else:
+                        builder = RouteBuilder(base)
+                        if communities:
+                            builder.set_communities(communities)
+                        if protocol is not base.protocol:
+                            builder.set_protocol(protocol)
+                        route = builder.freeze()
                     if constraint is None or constraint.admits(route):
                         yield route
 

@@ -1,0 +1,199 @@
+"""Decision-cache property and differential tests.
+
+The cached ``RibEntry.decision_key`` tuple must order entries exactly
+as the historical attribute cascade does (property-tested over
+randomized pairs), the ordering must be *total* on decision-relevant
+attributes (the ``"" < ""`` local-origination tie regression), and the
+cached/batched best-path selection must converge tie-heavy meshes —
+every router originating the same prefix — to the same RIBs as the
+legacy comparator, under full and incremental simulation alike.
+"""
+
+import random
+
+import pytest
+
+from repro.batfish.bgpsim import (
+    BgpSimulation,
+    RibEntry,
+    SimulationState,
+    _legacy_better,
+    _same_entry,
+    decision_cache_enabled,
+    rib_snapshots,
+    set_decision_cache,
+)
+from repro.cisco import parse_cisco
+from repro.netmodel import Prefix
+from repro.netmodel.aspath import AsPath
+from repro.netmodel.route import Route, reset_route_stats, route_totals
+from repro.topology.families import generate_network
+from repro.topology.reference import build_reference_configs
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache():
+    yield
+    set_decision_cache(True)
+
+
+PREFIX = Prefix.parse("10.0.0.0/16")
+
+ROUTERS = ("R1", "R2", "R3", "R4")
+
+
+def _random_entry(rng):
+    """A RibEntry varying every decision-relevant attribute.
+
+    Attributes outside the decision process (communities, next-hop) are
+    held constant: the decision key is blind to them by design, so only
+    decision-distinguishable pairs are meaningful for ordering.
+    """
+    learned_from = rng.choice((None,) + ROUTERS)
+    route = Route(
+        prefix=PREFIX,
+        as_path=AsPath.of(tuple(rng.randint(1, 4) for _ in range(rng.randint(0, 3)))),
+        med=rng.choice((0, 5, 10)),
+        local_pref=rng.choice((50, 100, 200)),
+    )
+    origin = rng.choice(ROUTERS)
+    return RibEntry(
+        route=route,
+        learned_from=learned_from,
+        origin_router=origin,
+        path=() if learned_from is None else (origin,),
+    )
+
+
+def _pairs(count=300, seed=7):
+    rng = random.Random(seed)
+    return [(_random_entry(rng), _random_entry(rng)) for _ in range(count)]
+
+
+class TestDecisionOrder:
+    def test_tuple_matches_legacy_comparator(self):
+        """One tuple ``<`` must agree with the attribute cascade on
+        every randomized pair, in both directions."""
+        for a, b in _pairs():
+            assert (a.decision_key < b.decision_key) == _legacy_better(a, b)
+            assert (b.decision_key < a.decision_key) == _legacy_better(b, a)
+
+    def test_better_antisymmetric_and_total(self):
+        """For entries that differ in any decision-relevant attribute,
+        exactly one direction wins — under either comparator."""
+        for enabled in (True, False):
+            set_decision_cache(enabled)
+            for a, b in _pairs(seed=11):
+                if a.decision_key == b.decision_key:
+                    # Decision-indistinguishable: neither wins, and the
+                    # cascade agrees with the tuple about the tie.
+                    assert not BgpSimulation._better(a, b)
+                    assert not BgpSimulation._better(b, a)
+                else:
+                    assert BgpSimulation._better(a, b) != BgpSimulation._better(b, a)
+
+    def test_local_origination_tie_is_ordered(self):
+        """Two locally originated entries with equal attributes must be
+        strictly ordered by originator — the historical fall-through
+        compared ``"" < ""`` and silently kept the incumbent."""
+        a = RibEntry(route=Route(prefix=PREFIX), learned_from=None, origin_router="R1")
+        b = RibEntry(route=Route(prefix=PREFIX), learned_from=None, origin_router="R2")
+        for enabled in (True, False):
+            set_decision_cache(enabled)
+            assert BgpSimulation._better(a, b)
+            assert not BgpSimulation._better(b, a)
+
+    def test_same_entry_agrees_with_decision_key(self):
+        """_same_entry must never call indistinguishable a pair whose
+        decision keys differ."""
+        for a, b in _pairs(seed=13):
+            if _same_entry(a, b):
+                assert a.decision_key == b.decision_key
+
+    def test_toggle_roundtrip(self):
+        assert decision_cache_enabled()
+        set_decision_cache(False)
+        assert not decision_cache_enabled()
+        set_decision_cache(True)
+        assert decision_cache_enabled()
+
+
+def _tie_mesh(extra=None):
+    """A 4-router full mesh where every router originates the *same*
+    prefix: every (router, prefix) cell is a pure tie-break decision."""
+    extra = extra or {}
+    routers = ROUTERS
+    texts = {}
+    for i, name in enumerate(routers, start=1):
+        lines = [f"hostname {name}"]
+        eth = 0
+        for j in range(1, len(routers) + 1):
+            if j == i:
+                continue
+            low, high = sorted((i, j))
+            lines.append(f"interface eth{eth}")
+            lines.append(f" ip address 10.{low}.{high}.{i} 255.255.255.0")
+            eth += 1
+        lines.append(f"router bgp {i}")
+        lines.append(" network 99.0.0.0 mask 255.255.0.0")
+        for j in range(1, len(routers) + 1):
+            if j == i:
+                continue
+            low, high = sorted((i, j))
+            lines.append(f" neighbor 10.{low}.{high}.{j} remote-as {j}")
+        lines.extend(extra.get(name, ()))
+        texts[name] = "\n".join(lines) + "\n"
+    return {
+        name: parse_cisco(text, filename=name).config
+        for name, text in texts.items()
+    }
+
+
+class TestTieHeavyMeshDifferential:
+    def test_cache_on_off_identical_ribs(self):
+        snapshots = {}
+        for enabled in (True, False):
+            set_decision_cache(enabled)
+            sim = BgpSimulation(_tie_mesh())
+            sim.run()
+            snapshots[enabled] = rib_snapshots(sim)
+        assert snapshots[True] == snapshots[False]
+        # Every router resolves the contested prefix to the same winner.
+        winner = {
+            name: rib[Prefix.parse("99.0.0.0/16")]
+            for name, rib in snapshots[True].items()
+        }
+        assert set(winner) == set(ROUTERS)
+
+    def test_incremental_matches_full_on_ties(self):
+        """Changing one router of an all-ties mesh must leave incremental
+        re-simulation and a fresh full run on identical RIBs, with the
+        decision cache on or off (the unified no-op install check keeps
+        dirty tracking identical across all four paths)."""
+        changed = {"R2": (" network 98.0.0.0 mask 255.255.0.0",)}
+        snapshots = {}
+        for enabled in (True, False):
+            set_decision_cache(enabled)
+            state = SimulationState(_tie_mesh())
+            state.resimulate(_tie_mesh(changed), changed_routers=["R2"])
+            assert state.last_stats.mode == "incremental"
+            full = BgpSimulation(_tie_mesh(changed))
+            full.run()
+            snapshots[(enabled, "incremental")] = rib_snapshots(state._sim)
+            snapshots[(enabled, "full")] = rib_snapshots(full)
+        baseline = snapshots[(True, "full")]
+        for key, snapshot in snapshots.items():
+            assert snapshot == baseline, key
+
+
+class TestReuseCounter:
+    def test_mesh_converge_reuses_candidates(self):
+        """A multi-round mesh fixpoint must count per-session candidate
+        reuses — the counter that silently read 0 in every bench row."""
+        configs = build_reference_configs(generate_network("mesh", 6).topology)
+        reset_route_stats()
+        sim = BgpSimulation(configs)
+        sim.run()
+        totals = route_totals()
+        assert totals["routes_reused"] > 0
+        assert totals["routes_built"] > 0

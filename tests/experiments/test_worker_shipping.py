@@ -1,0 +1,109 @@
+"""Worker-shipping A/B: coordinate-shipped campaigns == config-shipped.
+
+The campaign engine's default mode ships only Scenario coordinate
+tuples to pool workers and regenerates each network in-worker;
+``config`` mode materializes networks in the parent and pickles them
+into the task payload.  Generation is byte-deterministic, so the two
+modes must be observationally identical — same configs, same RIBs,
+same summary artifacts — at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.batfish.bgpsim import BgpSimulation, rib_snapshots
+from repro.cisco import generate_cisco
+from repro.experiments.campaign import (
+    Scenario,
+    build_grid,
+    run_campaign,
+    run_scenario,
+    set_worker_shipping,
+    topology_seed,
+    worker_shipping,
+)
+from repro.experiments.no_transit import materialize_network
+from repro.topology.reference import build_reference_configs
+
+
+@pytest.fixture(autouse=True)
+def _restore_coords():
+    yield
+    set_worker_shipping("coords")
+
+
+class TestShipModeToggle:
+    def test_roundtrip(self):
+        assert worker_shipping() == "coords"
+        set_worker_shipping("config")
+        assert worker_shipping() == "config"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            set_worker_shipping("carrier-pigeon")
+
+
+class TestRegenerationDeterminism:
+    def test_rematerialized_configs_byte_identical(self):
+        """Two materializations of the same coordinates must render to
+        byte-identical configs — the property that makes shipping
+        coordinates instead of configs sound."""
+        scenario = Scenario(family="waxman", size=8, seed=1, roles="c2i2h2")
+        seed = topology_seed(scenario)
+        rendered = []
+        for _ in range(2):
+            network = materialize_network(
+                scenario.family,
+                scenario.size,
+                roles=scenario.roles,
+                topology_seed=seed,
+            )
+            configs = build_reference_configs(network.topology)
+            rendered.append(
+                {name: generate_cisco(config) for name, config in configs.items()}
+            )
+        assert rendered[0] == rendered[1]
+
+    def test_shipped_network_ribs_identical(self):
+        """A run on a parent-materialized network converges to the same
+        RIBs as a run that regenerates from coordinates."""
+        scenario = Scenario(family="mesh", size=6, seed=0)
+        snapshots = []
+        for _ in range(2):
+            network = materialize_network(scenario.family, scenario.size)
+            sim = BgpSimulation(build_reference_configs(network.topology))
+            sim.run()
+            snapshots.append(rib_snapshots(sim))
+        assert snapshots[0] == snapshots[1]
+
+    def test_run_scenario_network_param_matches_regeneration(self):
+        """run_scenario on a pre-materialized network must produce the
+        same row (wall-clock aside) as coordinate regeneration."""
+        scenario = Scenario(family="star", size=5, seed=0)
+        network = materialize_network(scenario.family, scenario.size)
+        rows = [run_scenario(scenario), run_scenario(scenario, network)]
+        dicts = []
+        for row in rows:
+            record = dict(vars(row))
+            record.pop("duration_s")
+            dicts.append(record)
+        assert dicts[0] == dicts[1]
+
+
+class TestCampaignModeEquivalence:
+    GRID = ("star", "mesh")
+
+    def _summary(self, mode, workers):
+        set_worker_shipping(mode)
+        grid = build_grid(list(self.GRID), [5], seeds=1)
+        summary = run_campaign(grid, workers=workers)
+        return json.dumps(summary.to_dict(), sort_keys=True)
+
+    def test_modes_identical_serial(self):
+        assert self._summary("coords", 1) == self._summary("config", 1)
+
+    def test_modes_identical_at_four_workers(self):
+        baseline = self._summary("coords", 1)
+        assert self._summary("coords", 4) == baseline
+        assert self._summary("config", 4) == baseline

@@ -12,7 +12,11 @@ import copy
 
 import pytest
 
-from repro.batfish.bgpsim import BgpSimulation, rib_snapshots
+from repro.batfish.bgpsim import (
+    BgpSimulation,
+    rib_snapshots,
+    set_decision_cache,
+)
 from repro.lightyear import (
     check_composition,
     check_global_no_transit,
@@ -49,6 +53,7 @@ IDS = [
 def _restore_v2():
     yield
     set_route_model("v2")
+    set_decision_cache(True)
 
 
 def _configs(family, size, extra):
@@ -71,6 +76,19 @@ class TestDifferential:
             evaluations[model] = sim.evaluations
         assert snapshots["v1"] == snapshots["v2"]
         assert evaluations["v1"] == evaluations["v2"]
+
+    def test_decision_cache_identical_ribs(self, family, size, extra):
+        """Cached decision tuples + batched best-path selection converge
+        to the same RIBs as the legacy attribute-cascade comparator, on
+        every family."""
+        configs = _configs(family, size, extra)
+        snapshots = {}
+        for enabled in (True, False):
+            set_decision_cache(enabled)
+            sim = BgpSimulation(copy.deepcopy(configs))
+            sim.run()
+            snapshots[enabled] = rib_snapshots(sim)
+        assert snapshots[True] == snapshots[False]
 
     def test_verdicts_identical(self, family, size, extra):
         topology = generate_network(family, size, **extra).topology
