@@ -119,12 +119,18 @@ class RibEntry:
 
     ``decision_key`` is the C-ordered BGP decision tuple, computed once
     at construction: ``(not locally-originated, -local_pref, as-path
-    length, med, learned_from, origin_router)``.  A plain tuple ``<``
-    prefers the better entry, so best-path selection is one comparison
-    instead of a cascade of attribute checks — and the final
-    ``(learned_from, origin_router)`` pair makes the tie-break *total*:
-    any two entries that differ in a decision-relevant attribute are
-    strictly ordered, independent of arrival order.
+    length, med, learned_from, origin_router, as-path asns, path)``.  A
+    plain tuple ``<`` prefers the better entry, so best-path selection
+    is one comparison instead of a cascade of attribute checks — and
+    the trailing ``(learned_from, origin_router, asns, path)`` segment
+    makes the tie-break *total over route content*: any two
+    distinguishable entries are strictly ordered, independent of
+    arrival order.  The content components matter because the leading
+    attributes are not injective — two routes from the same neighbor
+    with the same originator can still carry different (equal-length)
+    AS paths, and the differential fuzzer demonstrated that breaking
+    such a tie by arrival order makes incremental re-simulation diverge
+    from a from-scratch run.
     """
 
     route: Route
@@ -139,7 +145,12 @@ class RibEntry:
             "decision_key",
             (self.learned_from is not None,)
             + self.route.decision_slice()
-            + (self.learned_from or "", self.origin_router),
+            + (
+                self.learned_from or "",
+                self.origin_router,
+                self.route.as_path.asns,
+                self.path,
+            ),
         )
 
     @classmethod
@@ -170,6 +181,8 @@ class RibEntry:
                 route.med,
                 learned_from,
                 origin_router,
+                route.as_path.asns,
+                path,
             ),
         )
         return entry
@@ -750,10 +763,50 @@ def _legacy_better(candidate: RibEntry, incumbent: RibEntry) -> bool:
         return left.med < right.med
     if candidate.learned_from != incumbent.learned_from:
         return (candidate.learned_from or "") < (incumbent.learned_from or "")
+    if "legacy-tiebreak" in _PLANTED_BUGS:
+        # The historical ``"" < ""`` fall-through: a full tie keeps the
+        # incumbent, making the winner depend on arrival order.
+        return False
     # Total tie-break: two equally-attributed entries from the same
     # neighbor (or both locally originated, where learned_from is None
-    # on both sides) are ordered by originator, never by arrival order.
-    return candidate.origin_router < incumbent.origin_router
+    # on both sides) are ordered by originator, then by route content —
+    # equal-length AS paths through different routers must still order
+    # deterministically, never by arrival order.
+    if candidate.origin_router != incumbent.origin_router:
+        return candidate.origin_router < incumbent.origin_router
+    if left_asns != right_asns:
+        return left_asns < right_asns
+    return candidate.path < incumbent.path
+
+
+# -- planted regressions (fuzz-harness self-test) ------------------------------
+#
+# The differential fuzzer is only trustworthy if it can find bugs we
+# already understand.  These hidden flags re-introduce a known,
+# previously-shipped bug behind a switch the fuzzer's self-tests (and
+# the hidden ``repro fuzz --plant`` CLI option) can flip; production
+# code never sets them.
+
+_KNOWN_PLANTED_BUGS = frozenset({"legacy-tiebreak"})
+
+_PLANTED_BUGS: Set[str] = set()
+
+
+def _plant_bug(name: str, enabled: bool = True) -> None:
+    """Enable/disable a planted known bug.  ``legacy-tiebreak`` reverts
+    the legacy comparator's total ``(learned_from, origin_router)``
+    tie-break to the pre-fix arrival-order fall-through."""
+    if name not in _KNOWN_PLANTED_BUGS:
+        known = ", ".join(sorted(_KNOWN_PLANTED_BUGS))
+        raise ValueError(f"unknown planted bug {name!r} (known: {known})")
+    if enabled:
+        _PLANTED_BUGS.add(name)
+    else:
+        _PLANTED_BUGS.discard(name)
+
+
+def _planted_bugs() -> "frozenset[str]":
+    return frozenset(_PLANTED_BUGS)
 
 
 def _same_entry(left: RibEntry, right: RibEntry) -> bool:

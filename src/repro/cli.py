@@ -8,6 +8,7 @@ Commands::
     incremental   run the §6 incremental-policy extension
     sweep         leverage statistics across seeds
     campaign      parallel scenario campaign over family × size × seed
+    fuzz          differential fuzzing of the optimization-toggle matrix
 
 All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
 ``--routers`` (default 7), ``--family`` (default star), ``--no-iips``,
@@ -32,6 +33,13 @@ the flag to merge several campaigns into one cross-campaign summary
 copies, ``--no-decision-cache`` disables cached best-path decision
 tuples, and ``--ship config`` pickles parent-materialized networks to
 workers instead of shipping coordinates — all for A/B comparisons.
+``fuzz`` generates seeded random scenarios (``--fuzz-seed``,
+``--iterations`` or a wall-clock ``--budget 300s``), runs each under
+every toggle combination (or a ``--pairs`` covering subset), asserts
+RIB/verdict/witness/memo equality against the all-legacy baseline,
+shrinks any divergence to a minimal repro under ``--corpus``
+(default ``tests/fuzz_corpus``), and journals progress for
+``--resume``; ``fuzz --replay`` re-checks every corpus file.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from typing import List, Optional
 __all__ = ["build_parser", "main"]
 
 DEFAULT_JOURNAL = "campaign_journal.jsonl"
+DEFAULT_FUZZ_JOURNAL = "fuzz_journal.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -254,6 +263,78 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
     )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing of the toggle matrix against the "
+        "all-legacy baseline",
+    )
+    fuzz.add_argument(
+        "--fuzz-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic scenario sequence (default 0)",
+    )
+    fuzz.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuzz exactly N scenario indices (deterministic mode)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        default=None,
+        metavar="TIME",
+        help=(
+            "fuzz until the wall-clock budget is spent, e.g. 300s, 5m, "
+            "or a plain number of seconds (the nightly mode)"
+        ),
+    )
+    fuzz.add_argument(
+        "--pairs",
+        action="store_true",
+        help=(
+            "run the pairwise-covering subset of toggle combinations "
+            "instead of all 32 (cheaper, still covers every factor pair)"
+        ),
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="tests/fuzz_corpus",
+        help="directory where shrunk repros are written (and replayed from)",
+    )
+    fuzz.add_argument(
+        "--journal",
+        default=None,
+        help=(
+            "JSONL journal streamed as iterations complete "
+            f"(default {DEFAULT_FUZZ_JOURNAL}; '-' to disable)"
+        ),
+    )
+    fuzz.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="resume from an existing fuzz journal, re-running only "
+        "missing indices",
+    )
+    fuzz.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay every checked-in corpus file and exit (no fuzzing)",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="print only the final status"
+    )
+    # Hidden: re-enable a known planted bug (the harness self-test —
+    # proves the loop finds, shrinks, and serializes a real regression).
+    fuzz.add_argument(
+        "--plant", action="append", default=None, help=argparse.SUPPRESS
+    )
     return parser
 
 
@@ -266,6 +347,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "incremental": _cmd_incremental,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
+        "fuzz": _cmd_fuzz,
     }[args.command]
     return handler(args)
 
@@ -505,6 +587,103 @@ def _emit_campaign_summary(
             f"pending; continue with --resume {journal}"
         )
     return 1 if summary.errors else 0
+
+
+def _parse_budget(text: str) -> float:
+    """A wall-clock budget: ``300``, ``300s``, or ``5m``."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("m"):
+        raw, scale = raw[:-1], 60.0
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise ValueError(
+            f"invalid --budget {text!r} (expected e.g. 300, 300s, or 5m)"
+        ) from None
+    if seconds <= 0:
+        raise ValueError(f"--budget must be positive, got {text!r}")
+    return seconds
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, run_fuzz
+    from .fuzz.corpus import corpus_files, replay_file
+
+    if args.replay:
+        files = corpus_files(args.corpus)
+        if not files:
+            print(f"fuzz: no corpus files under {args.corpus}")
+            return 0
+        failures = 0
+        for path in files:
+            mismatch = replay_file(path)
+            if mismatch is None:
+                if not args.quiet:
+                    print(f"  ok   {path.name}")
+            else:
+                failures += 1
+                print(f"  FAIL {path.name}: {mismatch}")
+        print(
+            f"fuzz replay: {len(files)} corpus file(s), "
+            f"{failures} failure(s)"
+        )
+        return 1 if failures else 0
+
+    budget_s = None
+    if args.budget is not None:
+        try:
+            budget_s = _parse_budget(args.budget)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.iterations is None and budget_s is None:
+        print(
+            "error: fuzz needs --iterations N or --budget TIME",
+            file=sys.stderr,
+        )
+        return 2
+
+    explicit_journal = args.journal is not None
+    journal_arg = args.journal if explicit_journal else DEFAULT_FUZZ_JOURNAL
+    journal = None if journal_arg in ("", "-") else journal_arg
+    resume = False
+    if args.resume:
+        if explicit_journal and journal != args.resume:
+            print(
+                f"error: --journal {journal_arg} conflicts with --resume "
+                f"{args.resume}; a resumed fuzz run appends to the journal "
+                f"it resumes from",
+                file=sys.stderr,
+            )
+            return 2
+        journal = args.resume
+        resume = True
+
+    config = FuzzConfig(
+        fuzz_seed=args.fuzz_seed,
+        iterations=args.iterations,
+        budget_s=budget_s,
+        pairs=args.pairs,
+        workers=args.workers,
+        corpus_dir=args.corpus,
+        planted=tuple(args.plant or ()),
+    )
+    try:
+        summary = run_fuzz(config, journal_path=journal, resume=resume)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.quiet:
+        lines = summary.render().splitlines()
+        print(lines[-1] if not summary.corpus_written else "\n".join(
+            lines[-1 - len(summary.corpus_written):]
+        ))
+    else:
+        print(summary.render())
+    return 1 if summary.mismatches else 0
 
 
 if __name__ == "__main__":

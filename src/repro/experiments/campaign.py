@@ -35,25 +35,21 @@ from __future__ import annotations
 
 import csv
 import json
+import logging
 import math
 import time
+import traceback
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
-from ..batfish.bgpsim import (
-    decision_cache_enabled,
-    incremental_simulation_enabled,
-    set_decision_cache,
-    set_incremental_simulation,
-    sim_totals,
-)
+from ..batfish.bgpsim import sim_totals
 from ..core import DEFAULT_IIP_IDS
 from ..llm import BehaviorProfile
-from ..netmodel.route import route_model, route_totals, set_route_model
-from ..symbolic.memo import cache_totals, memoization_enabled, set_memoization
+from ..netmodel.route import route_totals
+from ..symbolic.memo import cache_totals
 from ..topology.families import FAMILIES
 
 __all__ = [
@@ -80,8 +76,11 @@ __all__ = [
 # v2 added the grid's scenario keys to the header; v3 added the
 # role/topo scenario axes (and their per-role verdict counts in each
 # result row); v4 adds the role-placement axis (``place``) to scenario
-# keys/rows and the route-datapath counters to each journal record.
-JOURNAL_VERSION = 4
+# keys/rows and the route-datapath counters to each journal record;
+# v5 adds the full traceback (``trace``) to error rows.  Folding stays
+# bidirectionally tolerant: unknown row fields are dropped, missing
+# ones take their dataclass defaults.
+JOURNAL_VERSION = 5
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -133,13 +132,24 @@ def worker_shipping() -> str:
     return _SHIP_MODE
 
 
+_LOGGER = logging.getLogger(__name__)
+
+# Scenario keys whose parent-side generation failure was already logged,
+# so a grid that repeats a bad coordinate does not flood the log.
+_SHIPPING_FAILURES_LOGGED: set = set()
+
+
 def _materialize_for_shipping(scenario: Scenario):
     """Parent-side network generation for config-shipping mode.
 
-    Returns ``None`` when generation fails: the worker then regenerates
-    from coordinates and hits the same deterministic exception inside
+    Returns ``None`` when generation fails with the *expected* bad-
+    coordinate error (``ValueError`` — unknown family, unsatisfiable
+    role spec, malformed knob string): the worker then regenerates from
+    coordinates and hits the same deterministic exception inside
     :func:`run_scenario`'s error handling, producing the identical
-    error row a coords-mode campaign would journal.
+    error row a coords-mode campaign would journal.  Anything else is a
+    real bug in generation and propagates — this used to swallow every
+    exception, silently downgrading crashes to per-scenario error rows.
     """
     from .no_transit import materialize_network
 
@@ -152,7 +162,14 @@ def _materialize_for_shipping(scenario: Scenario):
             topology_seed=topology_seed(scenario),
             place=scenario.place,
         )
-    except Exception:
+    except ValueError as exc:
+        key = scenario.key()
+        if key not in _SHIPPING_FAILURES_LOGGED:
+            _SHIPPING_FAILURES_LOGGED.add(key)
+            _LOGGER.warning(
+                "config-shipping generation failed for %s: %s "
+                "(worker will journal the error row)", key, exc,
+            )
         return None
 
 
@@ -212,6 +229,10 @@ class ScenarioResult:
     roles_ok: int = 0
     roles_total: int = 0
     place: str = "default"
+    # Full traceback for error rows (journal-only, like duration_s:
+    # stripped from summary JSON/CSV).  None on success and on rows
+    # folded from pre-v5 journals.
+    trace: Optional[str] = None
 
     def render(self) -> str:
         if self.error is not None:
@@ -409,6 +430,7 @@ def run_scenario(scenario: Scenario, network=None) -> ScenarioResult:
             roles=scenario.roles,
             topo=scenario.topo,
             place=scenario.place,
+            trace=traceback.format_exc(),
         )
     log = experiment.result.prompt_log
     leverage = log.leverage()
@@ -578,10 +600,18 @@ def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
             row_fields = record.get("row")
             if not isinstance(key, str) or not isinstance(row_fields, dict):
                 continue
+            # Tolerate journals from other versions: older rows simply
+            # lack newer defaulted fields (e.g. pre-v5 ``trace``), newer
+            # rows may carry fields this build does not know.
+            known = {spec.name for spec in fields(ScenarioResult)}
             try:
                 completed[key] = CompletedScenario(
                     key=key,
-                    row=ScenarioResult(**row_fields),
+                    row=ScenarioResult(**{
+                        name: value
+                        for name, value in row_fields.items()
+                        if name in known
+                    }),
                     cache_hits=int(record.get("cache_hits") or 0),
                     cache_misses=int(record.get("cache_misses") or 0),
                     sim_full_runs=int(record.get("sim_full_runs") or 0),
@@ -850,6 +880,7 @@ class CampaignSummary:
     def _row_dict(row: ScenarioResult) -> dict:
         record = asdict(row)
         del record["duration_s"]  # wall-clock: journal-only
+        record.pop("trace", None)  # tracebacks: journal-only
         return record
 
     def to_dict(self) -> dict:
@@ -934,27 +965,25 @@ class CampaignSummary:
 # -- the engine ----------------------------------------------------------------
 
 
-def _init_worker(
-    memoize: bool,
-    incremental_sim: bool,
-    model: str,
-    decision_cache: bool = True,
-    ship: str = "coords",
-) -> None:
+def _toggle_snapshot() -> Dict[str, object]:
+    from ..core import toggles
+
+    return toggles.snapshot()
+
+
+def _init_worker(toggle_values: Dict[str, object]) -> None:
     """Propagate the parent's optimization toggles into a pool worker.
 
     Module globals do not survive the spawn/forkserver start methods,
-    so the executor replays them explicitly — `--no-incremental-sim`,
-    `set_memoization(False)`, `set_route_model("v1")`,
-    `set_decision_cache(False)`, and `set_worker_shipping("config")`
-    must govern the workers that actually run the scenarios, on every
-    platform.
+    so the executor replays a full :func:`repro.core.toggles.snapshot`
+    — every registered toggle, so a toggle added to the registry is
+    propagated automatically.  (The previous hand-picked argument list
+    silently dropped ``batched_evaluation``: workers of a
+    ``--no-batch`` campaign ran with batching enabled.)
     """
-    set_memoization(memoize)
-    set_incremental_simulation(incremental_sim)
-    set_route_model(model)
-    set_decision_cache(decision_cache)
-    set_worker_shipping(ship)
+    from ..core import toggles
+
+    toggles.apply(toggle_values)
 
 
 def run_campaign(
@@ -1034,13 +1063,7 @@ def run_campaign(
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(
-                    memoization_enabled(),
-                    incremental_simulation_enabled(),
-                    route_model(),
-                    decision_cache_enabled(),
-                    _SHIP_MODE,
-                ),
+                initargs=(_toggle_snapshot(),),
             ) as executor:
                 futures = [
                     executor.submit(

@@ -1,0 +1,502 @@
+"""The fuzz loop: scenarios × toggle combinations, against the baseline.
+
+Each iteration derives its scenario purely from ``(fuzz_seed, index)``
+(see :mod:`repro.fuzz.scenarios`), observes it under the all-legacy
+baseline and under every other toggle combination — all 32, or the
+pairwise covering subset — and reports the first divergence.  A
+divergence is delta-debugged down to a minimal scenario and returned
+as a ready-to-serialize corpus record.
+
+Results stream through the campaign's JSONL journal substrate: every
+finished iteration is appended and flushed, ``resume=True`` folds the
+journal first and re-runs only missing indices, and the final summary
+is rebuilt by folding — so an interrupted nightly fuzz run continues
+where it stopped, at any worker count, with a byte-identical outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core import toggles
+from .corpus import make_record, write_repro
+from .oracle import (
+    LEGACY_BASELINE,
+    all_combos,
+    diff_memo_traffic,
+    diff_observations,
+    memo_partner,
+    observe,
+    pairwise_combos,
+)
+from .scenarios import FuzzScenario, scenario_at
+from .shrink import shrink_scenario
+
+__all__ = [
+    "FUZZ_JOURNAL_VERSION",
+    "FuzzConfig",
+    "FuzzIterationResult",
+    "FuzzSummary",
+    "fold_fuzz_journal",
+    "run_fuzz",
+    "run_fuzz_iteration",
+]
+
+FUZZ_JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz run's knobs.
+
+    ``iterations`` pins an exact, deterministic amount of work;
+    ``budget_s`` instead runs until the wall-clock budget is spent
+    (the nightly mode).  ``planted`` names hidden known-bug flags to
+    re-enable — the harness's self-test mechanism, proving the loop
+    can find, shrink, and serialize a real historical bug.
+    """
+
+    fuzz_seed: int = 0
+    iterations: Optional[int] = None
+    budget_s: Optional[float] = None
+    pairs: bool = False
+    workers: int = 1
+    corpus_dir: "Path | str" = Path("tests/fuzz_corpus")
+    planted: Tuple[str, ...] = ()
+
+    def combos(self) -> List[Dict[str, Any]]:
+        return pairwise_combos() if self.pairs else all_combos()
+
+
+@dataclass(frozen=True)
+class FuzzIterationResult:
+    """One iteration's outcome (one journal row)."""
+
+    index: int
+    key: str
+    ok: bool
+    check: Optional[str] = None  # "semantic" | "memo" when not ok
+    combo: Optional[Dict[str, Any]] = None
+    mismatch: Optional[str] = None
+    repro: Optional[dict] = None  # shrunk corpus record, ready to write
+    error: Optional[str] = None  # scenario-generation failure (skipped)
+
+
+def _apply_planted(planted: Sequence[str]) -> None:
+    from ..batfish.bgpsim import _plant_bug
+
+    for name in planted:
+        _plant_bug(name, True)
+
+
+@contextmanager
+def _planted_scope(planted: Sequence[str]):
+    """Plant the named bugs for the duration of the block, restoring the
+    previous planted set on exit — an in-process fuzz run must not leave
+    a known bug enabled for whatever runs next."""
+    from ..batfish.bgpsim import _KNOWN_PLANTED_BUGS, _plant_bug, _planted_bugs
+
+    before = _planted_bugs()
+    _apply_planted(planted)
+    try:
+        yield
+    finally:
+        for name in _KNOWN_PLANTED_BUGS:
+            _plant_bug(name, name in before)
+
+
+def run_fuzz_iteration(
+    fuzz_seed: int,
+    index: int,
+    combos: Optional[Sequence[Dict[str, Any]]] = None,
+    pairs: bool = False,
+    planted: Sequence[str] = (),
+) -> FuzzIterationResult:
+    """Fuzz one index: observe under every combination, diff against
+    the baseline, shrink the first divergence.  Deterministic — the
+    same arguments produce the same result in any process."""
+    with _planted_scope(planted):
+        return _fuzz_index(fuzz_seed, index, combos=combos, pairs=pairs)
+
+
+def _fuzz_index(
+    fuzz_seed: int,
+    index: int,
+    combos: Optional[Sequence[Dict[str, Any]]] = None,
+    pairs: bool = False,
+) -> FuzzIterationResult:
+    scenario = scenario_at(fuzz_seed, index)
+    combo_list = [
+        dict(combo)
+        for combo in (
+            combos
+            if combos is not None
+            else (pairwise_combos() if pairs else all_combos())
+        )
+    ]
+    try:
+        baseline_obs = observe(scenario, LEGACY_BASELINE)
+    except Exception as exc:
+        return FuzzIterationResult(
+            index=index,
+            key=scenario.key(),
+            ok=True,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    cache: Dict[str, dict] = {}
+
+    def observed(combo: Dict[str, Any]) -> dict:
+        cache_key = json.dumps(combo, sort_keys=True)
+        if cache_key not in cache:
+            cache[cache_key] = observe(scenario, combo)
+        return cache[cache_key]
+
+    failure: Optional[Tuple[str, Dict[str, Any], Dict[str, Any], str]] = None
+    for combo in combo_list:
+        if combo == LEGACY_BASELINE:
+            continue
+        mismatch = diff_observations(baseline_obs, observed(combo))
+        if mismatch is not None:
+            failure = ("semantic", combo, dict(LEGACY_BASELINE), mismatch)
+            break
+        partner = memo_partner(combo)
+        if partner is not None and partner in combo_list:
+            memo_mismatch = diff_memo_traffic(
+                observed(partner), observed(combo)
+            )
+            if memo_mismatch is not None:
+                failure = ("memo", combo, partner, memo_mismatch)
+                break
+    if failure is None:
+        return FuzzIterationResult(index=index, key=scenario.key(), ok=True)
+
+    check, combo, against, mismatch = failure
+
+    def still_fails(candidate: FuzzScenario) -> bool:
+        if check == "memo":
+            return (
+                diff_memo_traffic(
+                    observe(candidate, against), observe(candidate, combo)
+                )
+                is not None
+            )
+        return (
+            diff_observations(
+                observe(candidate, against), observe(candidate, combo)
+            )
+            is not None
+        )
+
+    shrunk = shrink_scenario(scenario, still_fails)
+    final_mismatch = mismatch
+    if shrunk != scenario:
+        if check == "memo":
+            final_mismatch = diff_memo_traffic(
+                observe(shrunk, against), observe(shrunk, combo)
+            )
+        else:
+            final_mismatch = diff_observations(
+                observe(shrunk, against), observe(shrunk, combo)
+            )
+    record = make_record(
+        shrunk,
+        combo,
+        against,
+        check,
+        final_mismatch or mismatch,
+        fuzz_seed=fuzz_seed,
+        index=index,
+    )
+    return FuzzIterationResult(
+        index=index,
+        key=scenario.key(),
+        ok=False,
+        check=check,
+        combo=combo,
+        mismatch=final_mismatch or mismatch,
+        repro=record,
+    )
+
+
+# -- the fuzz journal ----------------------------------------------------------
+
+
+def _fuzz_header(config: FuzzConfig, combos: int) -> str:
+    return json.dumps(
+        {
+            "kind": "fuzz",
+            "version": FUZZ_JOURNAL_VERSION,
+            "fuzz_seed": config.fuzz_seed,
+            "pairs": config.pairs,
+            "combos": combos,
+        },
+        sort_keys=True,
+    )
+
+
+def _fuzz_line(result: FuzzIterationResult) -> str:
+    return json.dumps(
+        {
+            "kind": "fuzz_result",
+            "index": result.index,
+            "key": result.key,
+            "ok": result.ok,
+            "check": result.check,
+            "combo": result.combo,
+            "mismatch": result.mismatch,
+            "repro": result.repro,
+            "error": result.error,
+        },
+        sort_keys=True,
+    )
+
+
+def fold_fuzz_journal(path: "Path | str") -> Dict[int, FuzzIterationResult]:
+    """Reconstruct fuzz results by folding a journal (same tolerance
+    rules as the campaign fold: malformed lines skipped, latest record
+    per index wins)."""
+    results: Dict[int, FuzzIterationResult] = {}
+    target = Path(path)
+    if not target.exists():
+        return results
+    with target.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("kind") != "fuzz_result"
+            ):
+                continue
+            index = record.get("index")
+            key = record.get("key")
+            if not isinstance(index, int) or not isinstance(key, str):
+                continue
+            results[index] = FuzzIterationResult(
+                index=index,
+                key=key,
+                ok=bool(record.get("ok")),
+                check=record.get("check"),
+                combo=record.get("combo"),
+                mismatch=record.get("mismatch"),
+                repro=record.get("repro"),
+                error=record.get("error"),
+            )
+    return results
+
+
+# -- the loop ------------------------------------------------------------------
+
+
+@dataclass
+class FuzzSummary:
+    """Everything one fuzz run produced."""
+
+    results: List[FuzzIterationResult] = field(default_factory=list)
+    fuzz_seed: int = 0
+    workers: int = 1
+    duration_s: float = 0.0
+    resumed: int = 0
+    corpus_written: List[Path] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> List[FuzzIterationResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def skipped(self) -> List[FuzzIterationResult]:
+        return [result for result in self.results if result.error is not None]
+
+    def render(self) -> str:
+        lines = []
+        for result in self.results:
+            if result.error is not None:
+                lines.append(
+                    f"  [{result.index:>4}] SKIP {result.key} "
+                    f"({result.error})"
+                )
+            elif not result.ok:
+                lines.append(
+                    f"  [{result.index:>4}] FAIL {result.key}\n"
+                    f"         {result.check} mismatch under "
+                    f"{result.combo}:\n         {result.mismatch}"
+                )
+        status = (
+            f"fuzz: {len(self.results)} iteration(s), "
+            f"{len(self.mismatches)} mismatch(es), "
+            f"{len(self.skipped)} skipped, seed {self.fuzz_seed}, "
+            f"{self.workers} worker(s), {self.duration_s:.2f}s"
+        )
+        lines.append(status)
+        for path in self.corpus_written:
+            lines.append(f"  shrunk repro written: {path}")
+        return "\n".join(lines)
+
+
+def _init_fuzz_worker(
+    toggle_values: Dict[str, Any], planted: Sequence[str]
+) -> None:
+    """Propagate the parent's toggle configuration and any planted-bug
+    flags into a pool worker (start methods other than fork do not
+    inherit module globals)."""
+    toggles.apply(toggle_values)
+    _apply_planted(planted)
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    journal_path: "Path | str | None" = None,
+    resume: bool = False,
+) -> FuzzSummary:
+    """Run the fuzz loop; returns a summary folded from the journal.
+
+    With ``iterations`` set the run is exactly that many indices (the
+    deterministic mode the corpus tests rely on); with ``budget_s`` the
+    loop keeps claiming indices until the budget is spent.  Corpus
+    records are written by the parent only, so worker count never
+    changes what lands on disk.
+    """
+    from ..experiments.campaign import _append, _repair_trailing_newline
+
+    if config.iterations is None and config.budget_s is None:
+        raise ValueError("FuzzConfig needs iterations or budget_s")
+    with _planted_scope(config.planted):
+        return _run_fuzz_loop(config, journal_path, resume)
+
+
+def _run_fuzz_loop(
+    config: FuzzConfig,
+    journal_path: "Path | str | None",
+    resume: bool,
+) -> FuzzSummary:
+    from ..experiments.campaign import _append, _repair_trailing_newline
+
+    started = time.perf_counter()
+    combos = config.combos()
+    journal = Path(journal_path) if journal_path is not None else None
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal_path")
+    completed: Dict[int, FuzzIterationResult] = {}
+    if resume and journal.exists():
+        completed = fold_fuzz_journal(journal)
+    resumed = len(completed)
+
+    handle = None
+    if journal is not None:
+        appending = resume and journal.exists()
+        if appending:
+            _repair_trailing_newline(journal)
+        handle = journal.open("a" if appending else "w")
+        if not appending:
+            _append(handle, _fuzz_header(config, len(combos)))
+
+    def budget_left() -> bool:
+        return (
+            config.budget_s is None
+            or time.perf_counter() - started < config.budget_s
+        )
+
+    def record_result(result: FuzzIterationResult) -> None:
+        completed[result.index] = result
+        if handle is not None:
+            _append(handle, _fuzz_line(result))
+
+    try:
+        if config.workers <= 1:
+            index = 0
+            ran = 0
+            while budget_left() and (
+                config.iterations is None or ran < config.iterations
+            ):
+                if config.iterations is not None and index >= config.iterations:
+                    break
+                if index not in completed:
+                    record_result(
+                        run_fuzz_iteration(
+                            config.fuzz_seed,
+                            index,
+                            combos=combos,
+                            planted=config.planted,
+                        )
+                    )
+                    ran += 1
+                index += 1
+                if config.iterations is None and index >= 1_000_000:
+                    break  # budget mode backstop
+        else:
+            with ProcessPoolExecutor(
+                max_workers=config.workers,
+                initializer=_init_fuzz_worker,
+                initargs=(toggles.snapshot(), config.planted),
+            ) as executor:
+                if config.iterations is not None:
+                    pending = [
+                        index
+                        for index in range(config.iterations)
+                        if index not in completed
+                    ]
+                    futures = [
+                        executor.submit(
+                            run_fuzz_iteration,
+                            config.fuzz_seed,
+                            index,
+                            combos=combos,
+                            planted=config.planted,
+                        )
+                        for index in pending
+                    ]
+                    for future in as_completed(futures):
+                        record_result(future.result())
+                else:
+                    # Budget mode: submit in waves so the clock is
+                    # checked between batches.
+                    index = 0
+                    while budget_left():
+                        wave = []
+                        while len(wave) < config.workers * 2:
+                            if index not in completed:
+                                wave.append(index)
+                            index += 1
+                        futures = [
+                            executor.submit(
+                                run_fuzz_iteration,
+                                config.fuzz_seed,
+                                claim,
+                                combos=combos,
+                                planted=config.planted,
+                            )
+                            for claim in wave
+                        ]
+                        for future in as_completed(futures):
+                            record_result(future.result())
+    finally:
+        if handle is not None:
+            handle.close()
+
+    if journal is not None:
+        completed = fold_fuzz_journal(journal)
+    ordered = [completed[index] for index in sorted(completed)]
+    corpus_written = [
+        write_repro(config.corpus_dir, result.repro)
+        for result in ordered
+        if result.repro is not None
+    ]
+    return FuzzSummary(
+        results=ordered,
+        fuzz_seed=config.fuzz_seed,
+        workers=max(1, config.workers),
+        duration_s=time.perf_counter() - started,
+        resumed=resumed,
+        corpus_written=corpus_written,
+    )

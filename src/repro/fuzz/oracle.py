@@ -1,0 +1,287 @@
+"""Run one fuzz scenario under one toggle combination and observe it.
+
+An *observation* is a plain JSON-able structure capturing everything
+the conformance contract promises is toggle-independent: after every
+policy edit, the full RIB of every router (attributes, provenance
+path), the local-invariant violations with their witness routes, and
+the global no-transit verdict with per-role breakdowns.  Symbolic memo
+traffic is captured alongside — canonical memo keys make the hit/miss
+pattern datapath-independent, so it is compared between route-model
+partners that share every other toggle.
+
+The all-legacy baseline (:data:`LEGACY_BASELINE`) is the oracle every
+other combination is compared against; a fast path may only ship while
+it is provably equivalent to the path it wants to retire.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import toggles
+from .edits import apply_edit_op, resolve_router
+from .scenarios import FuzzScenario
+
+__all__ = [
+    "ALL_NEW",
+    "FUZZ_FACTORS",
+    "LEGACY_BASELINE",
+    "all_combos",
+    "diff_memo_traffic",
+    "diff_observations",
+    "memo_partner",
+    "observe",
+    "pairwise_combos",
+]
+
+# The fuzzed toggle axes, in canonical order.  ``worker_shipping`` is a
+# campaign-transport toggle with no per-scenario semantics, so it is
+# covered by its own differential suite, not fuzzed here.
+FUZZ_FACTORS: Tuple[Tuple[str, Tuple[Any, ...]], ...] = (
+    ("route_model", ("v1", "v2")),
+    ("decision_cache", (False, True)),
+    ("batched_evaluation", (False, True)),
+    ("incremental_simulation", (False, True)),
+    ("memoization", (False, True)),
+)
+
+LEGACY_BASELINE: Dict[str, Any] = {
+    "route_model": "v1",
+    "decision_cache": False,
+    "batched_evaluation": False,
+    "incremental_simulation": False,
+    "memoization": False,
+}
+
+ALL_NEW: Dict[str, Any] = {
+    "route_model": "v2",
+    "decision_cache": True,
+    "batched_evaluation": True,
+    "incremental_simulation": True,
+    "memoization": True,
+}
+
+
+def all_combos() -> List[Dict[str, Any]]:
+    """Every toggle combination (32), in a fixed enumeration order
+    starting from the all-legacy baseline."""
+    names = [name for name, _values in FUZZ_FACTORS]
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(
+            *(values for _name, values in FUZZ_FACTORS)
+        )
+    ]
+
+
+def pairwise_combos() -> List[Dict[str, Any]]:
+    """A deterministic pairwise-covering subset of the combinations.
+
+    Greedy cover: starts from the baseline and the all-new corner,
+    then repeatedly adds the enumeration-order-first combination that
+    covers the most uncovered factor-value pairs.  Every pair of
+    (factor, value) settings appears in at least one returned
+    combination — the cheap mode for time-budgeted nightly runs.
+    """
+    candidates = all_combos()
+    names = [name for name, _values in FUZZ_FACTORS]
+
+    def pairs_of(combo: Dict[str, Any]) -> set:
+        return {
+            (a, combo[a], b, combo[b])
+            for a, b in itertools.combinations(names, 2)
+        }
+
+    needed = set()
+    for combo in candidates:
+        needed |= pairs_of(combo)
+    chosen = [dict(LEGACY_BASELINE), dict(ALL_NEW)]
+    covered = pairs_of(LEGACY_BASELINE) | pairs_of(ALL_NEW)
+    while needed - covered:
+        best = max(
+            candidates,
+            key=lambda combo: len(pairs_of(combo) - covered),
+        )
+        chosen.append(dict(best))
+        covered |= pairs_of(best)
+    return chosen
+
+
+def memo_partner(combo: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The combination whose memo traffic must equal this one's.
+
+    Canonical memo keys make cache traffic independent of the route
+    model, so a memoized v2 combination is compared against its v1
+    twin (every other toggle equal).  ``None`` when no comparison
+    applies (memoization off, or already the v1 side).
+    """
+    if not combo.get("memoization") or combo.get("route_model") != "v2":
+        return None
+    partner = dict(combo)
+    partner["route_model"] = "v1"
+    return partner
+
+
+def _canonical_route(route) -> list:
+    return [
+        str(route.prefix),
+        list(route.as_path.asns),
+        sorted(str(community) for community in route.communities),
+        route.med,
+        route.local_pref,
+        str(route.next_hop),
+    ]
+
+
+def _canonical_ribs(simulation) -> Dict[str, Dict[str, list]]:
+    return {
+        name: {
+            str(entry.route.prefix): (
+                _canonical_route(entry.route)
+                + [
+                    entry.learned_from or "",
+                    entry.origin_router,
+                    list(entry.path),
+                ]
+            )
+            for entry in simulation.rib(name).values()
+        }
+        for name in sorted(simulation._configs)
+    }
+
+
+def _step_observation(state, configs, topology, invariants) -> dict:
+    from ..lightyear import check_global_no_transit, verify_invariants
+
+    violations = verify_invariants(copy.deepcopy(configs), invariants)
+    check = check_global_no_transit(copy.deepcopy(configs), topology)
+    return {
+        "ribs": _canonical_ribs(state.simulation),
+        "violations": [
+            [
+                violation.router,
+                violation.policy_name,
+                violation.message,
+                _canonical_route(violation.witness),
+            ]
+            for violation in violations
+        ],
+        "global": {
+            "holds": check.holds,
+            "detail": check.describe(),
+            "roles": dict(sorted(check.role_verdicts.items())),
+        },
+    }
+
+
+def observe(scenario: FuzzScenario, combo: Dict[str, Any]) -> dict:
+    """Execute the scenario under the toggle combination.
+
+    Raises whatever generation raises for impossible coordinates (the
+    shrinker treats that as "not a valid smaller input").  All warm
+    process-local state (memo caches, global-check simulation states)
+    is reset on entry so observations are hermetic per combination.
+    """
+    from ..batfish.bgpsim import SimulationState
+    from ..experiments.no_transit import materialize_network
+    from ..lightyear import no_transit_invariants
+    from ..lightyear.compose import reset_simulation_states
+    from ..symbolic.memo import cache_totals, reset_caches
+    from ..topology.reference import build_reference_configs
+
+    with toggles.scoped(**combo):
+        reset_caches()
+        reset_simulation_states()
+        network = materialize_network(
+            scenario.family,
+            scenario.size,
+            roles=scenario.roles,
+            topo=scenario.topo,
+            topology_seed=scenario.topology_seed,
+            place=scenario.place,
+        )
+        topology = network.topology
+        configs = build_reference_configs(topology)
+        invariants = no_transit_invariants(topology)
+        hits_before, misses_before = cache_totals()
+        state = SimulationState()
+        state.converge(copy.deepcopy(configs))
+        steps = [
+            {"applied": None}
+            | _step_observation(state, configs, topology, invariants)
+        ]
+        for edit in scenario.edits:
+            router = resolve_router(edit.router_index, configs)
+            applied = apply_edit_op(edit.op, configs, router)
+            state.resimulate(copy.deepcopy(configs), {router})
+            steps.append(
+                {"applied": [router, edit.op, applied]}
+                | _step_observation(state, configs, topology, invariants)
+            )
+        hits_after, misses_after = cache_totals()
+        reset_simulation_states()
+        return {
+            "scenario": scenario.key(),
+            "steps": steps,
+            "memo": [hits_after - hits_before, misses_after - misses_before],
+        }
+
+
+def _first_rib_divergence(base: dict, other: dict) -> str:
+    for router in sorted(set(base) | set(other)):
+        left, right = base.get(router), other.get(router)
+        if left == right:
+            continue
+        left, right = left or {}, right or {}
+        for prefix in sorted(set(left) | set(right)):
+            if left.get(prefix) != right.get(prefix):
+                return (
+                    f"router {router} prefix {prefix}: "
+                    f"baseline={left.get(prefix)} vs {right.get(prefix)}"
+                )
+    return "rib key sets differ"
+
+
+def diff_observations(baseline: dict, other: dict) -> Optional[str]:
+    """The first semantic divergence between two observations, or
+    ``None`` when they agree (memo traffic is compared separately —
+    see :func:`diff_memo_traffic`)."""
+    base_steps, other_steps = baseline["steps"], other["steps"]
+    if len(base_steps) != len(other_steps):
+        return (
+            f"step counts differ: {len(base_steps)} vs {len(other_steps)}"
+        )
+    for index, (left, right) in enumerate(zip(base_steps, other_steps)):
+        if left["applied"] != right["applied"]:
+            return (
+                f"step {index}: edit applicability diverged "
+                f"({left['applied']} vs {right['applied']})"
+            )
+        if left["ribs"] != right["ribs"]:
+            return f"step {index}: RIBs diverged — " + _first_rib_divergence(
+                left["ribs"], right["ribs"]
+            )
+        if left["violations"] != right["violations"]:
+            return (
+                f"step {index}: invariant violations diverged "
+                f"(baseline {len(left['violations'])}: "
+                f"{left['violations']} vs {len(right['violations'])}: "
+                f"{right['violations']})"
+            )
+        if left["global"] != right["global"]:
+            return (
+                f"step {index}: global verdict diverged "
+                f"({left['global']} vs {right['global']})"
+            )
+    return None
+
+
+def diff_memo_traffic(left: dict, right: dict) -> Optional[str]:
+    """Memo hit/miss divergence between two route-model partner runs."""
+    if left["memo"] != right["memo"]:
+        return (
+            f"memo traffic diverged: v1 {left['memo']} vs v2 {right['memo']}"
+        )
+    return None

@@ -1,0 +1,103 @@
+"""Delta-debugging shrinker: minimize a failing fuzz scenario.
+
+Given a scenario and a deterministic ``still_fails`` predicate, the
+shrinker greedily tries smaller variants — dropping edits, shrinking
+the router count, stripping the role/knob/placement axes, and
+canonicalizing router indices — and keeps any variant that still
+fails, looping to a fixpoint.  Every predicate call is cached by
+scenario key, and a variant whose coordinates cannot even generate a
+network (e.g. a role spec needing more border routers than the shrunk
+size provides) simply counts as "does not fail".
+
+The result is the minimal repro that lands in ``tests/fuzz_corpus/``:
+small enough to read, stable enough to replay forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from .scenarios import FuzzScenario
+
+__all__ = ["shrink_scenario"]
+
+_MIN_SIZE = 3
+
+
+def shrink_scenario(
+    scenario: FuzzScenario,
+    still_fails: Callable[[FuzzScenario], bool],
+    max_checks: int = 200,
+) -> FuzzScenario:
+    """Minimize ``scenario`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must be deterministic; generation errors inside it
+    should be treated by the caller as False (not a failure — an
+    invalid input).  ``max_checks`` bounds the total number of
+    predicate evaluations so a pathological case cannot stall a fuzz
+    run; the best scenario found so far is returned regardless.
+    """
+    cache: Dict[str, bool] = {scenario.key(): True}
+    checks = 0
+
+    def fails(candidate: FuzzScenario) -> bool:
+        nonlocal checks
+        key = candidate.key()
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            verdict = bool(still_fails(candidate))
+        except Exception:
+            verdict = False  # unbuildable coordinates are not a repro
+        cache[key] = verdict
+        return verdict
+
+    current = scenario
+    changed = True
+    while changed and checks < max_checks:
+        changed = False
+        # 1. Drop edits, last first (later edits most often depend on
+        # earlier ones, so removing from the tail converges fastest).
+        for index in reversed(range(len(current.edits))):
+            candidate = current.without_edit(index)
+            if fails(candidate):
+                current = candidate
+                changed = True
+        # 2. Shrink the router count, smallest first.
+        for size in range(_MIN_SIZE, current.size):
+            candidate = replace(current, size=size)
+            if fails(candidate):
+                current = candidate
+                changed = True
+                break
+        # 3. Strip the topology-shaping axes back to default.
+        for field_name in ("place", "topo", "roles"):
+            if getattr(current, field_name) != "default":
+                candidate = replace(current, **{field_name: "default"})
+                if fails(candidate):
+                    current = candidate
+                    changed = True
+        # 4. Canonicalize router indices to their modulo-reduced form
+        # (pure relabeling at the current size, but it makes the
+        # serialized repro independent of the generator's raw draws).
+        reduced = tuple(
+            replace(edit, router_index=edit.router_index % current.size)
+            for edit in current.edits
+        )
+        if reduced != current.edits:
+            candidate = replace(current, edits=reduced)
+            if fails(candidate):
+                current = candidate
+                changed = True
+        # 5. Try zeroing the topology seed (the most readable graph).
+        if current.topology_seed != 0:
+            candidate = replace(current, topology_seed=0)
+            if fails(candidate):
+                current = candidate
+                changed = True
+    return current

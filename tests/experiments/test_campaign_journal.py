@@ -280,3 +280,66 @@ class TestExecuteScenario:
         assert summary.cache_hits + summary.cache_misses > 0
         assert summary.cache_hit_rate is not None
         assert 0.0 <= summary.cache_hit_rate <= 1.0
+
+
+class TestErrorTraces:
+    """v5 journals carry the full traceback of an error row; summary
+    artifacts (JSON/CSV) stay traceback-free, and folding tolerates
+    rows journaled before the field existed."""
+
+    BAD = Scenario(family="no-such-family", size=4, seed=0)
+
+    def test_error_row_captures_traceback(self):
+        from repro.experiments.campaign import run_scenario
+
+        row = run_scenario(self.BAD)
+        assert row.error is not None
+        assert row.trace is not None
+        assert "Traceback (most recent call last)" in row.trace
+        # The trace ends with the same exception the error column names.
+        assert row.error.split(":")[0] in row.trace
+
+    def test_successful_row_has_no_trace(self):
+        from repro.experiments.campaign import run_scenario
+
+        row = run_scenario(Scenario(family="star", size=4, seed=0))
+        assert row.error is None
+        assert row.trace is None
+
+    def test_trace_survives_the_journal_roundtrip(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        run_campaign([self.BAD], journal_path=journal)
+        folded = fold_journal(journal)
+        (record,) = folded.values()
+        assert record.row.trace is not None
+        assert "Traceback" in record.row.trace
+
+    def test_fold_tolerates_pre_v5_rows_without_trace(self, tmp_path):
+        """A v4 journal row (no ``trace`` key) folds cleanly with the
+        field defaulting to None — and unknown future fields drop."""
+        journal = tmp_path / "old.jsonl"
+        run_campaign([Scenario(family="star", size=4, seed=0)],
+                     journal_path=journal)
+        lines = journal.read_text().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("kind") == "result":
+                record["row"].pop("trace", None)
+                record["row"]["from_the_future"] = 42
+            doctored.append(json.dumps(record))
+        journal.write_text("\n".join(doctored) + "\n")
+        folded = fold_journal(journal)
+        (record,) = folded.values()
+        assert record.row.trace is None
+        assert record.row.family == "star"
+
+    def test_summary_artifacts_exclude_traces(self, tmp_path):
+        from repro.experiments.campaign import run_campaign as run
+
+        summary = run([self.BAD])
+        data = summary.to_dict()
+        assert all("trace" not in row for row in data["rows"])
+        csv_path = summary.write_csv(tmp_path / "rows.csv")
+        header = csv_path.read_text().splitlines()[0]
+        assert "trace" not in header

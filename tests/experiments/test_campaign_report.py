@@ -267,20 +267,40 @@ class TestWorkerToggles:
         """Pool workers must inherit the parent's toggles even under
         spawn/forkserver start methods, where module globals reset."""
         from repro.batfish.bgpsim import (
+            batched_evaluation_enabled,
             incremental_simulation_enabled,
-            set_incremental_simulation,
         )
+        from repro.core import toggles
         from repro.experiments.campaign import _init_worker
         from repro.netmodel.route import route_model
-        from repro.symbolic.memo import memoization_enabled, set_memoization
+        from repro.symbolic.memo import memoization_enabled
 
+        legacy = {
+            "route_model": "v1",
+            "decision_cache": False,
+            "batched_evaluation": False,
+            "incremental_simulation": False,
+            "memoization": False,
+            "worker_shipping": "config",
+        }
         try:
-            _init_worker(False, False, "v1")
+            _init_worker(legacy)
             assert not memoization_enabled()
             assert not incremental_simulation_enabled()
+            # batched_evaluation was silently dropped by the old
+            # hand-picked initializer argument list.
+            assert not batched_evaluation_enabled()
             assert route_model() == "v1"
         finally:
-            _init_worker(True, True, "v2")
+            _init_worker(toggles.DEFAULTS)
         assert memoization_enabled()
         assert incremental_simulation_enabled()
+        assert batched_evaluation_enabled()
         assert route_model() == "v2"
+
+    def test_initializer_covers_every_registered_toggle(self):
+        """The snapshot the executor ships must name every toggle in
+        the registry — a new toggle cannot silently skip propagation."""
+        from repro.core import toggles
+
+        assert set(toggles.snapshot()) == set(toggles.DEFAULTS)

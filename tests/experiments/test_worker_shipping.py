@@ -107,3 +107,43 @@ class TestCampaignModeEquivalence:
         baseline = self._summary("coords", 1)
         assert self._summary("coords", 4) == baseline
         assert self._summary("config", 4) == baseline
+
+
+class TestMaterializeErrorPolicy:
+    """Parent-side generation failures: expected bad coordinates become
+    a logged ``None`` (the worker journals the error row); anything
+    else is a real bug and must propagate, not be silently downgraded.
+    """
+
+    def test_bad_coordinates_return_none_and_log_once(self, caplog):
+        from repro.experiments.campaign import (
+            _SHIPPING_FAILURES_LOGGED,
+            _materialize_for_shipping,
+        )
+
+        # An unsatisfiable role spec for the family raises ValueError
+        # inside generation — the expected bad-coordinate shape.
+        scenario = Scenario(
+            family="random", size=4, seed=0, roles="c9i9h9"
+        )
+        _SHIPPING_FAILURES_LOGGED.discard(scenario.key())
+        with caplog.at_level("WARNING", logger="repro.experiments.campaign"):
+            assert _materialize_for_shipping(scenario) is None
+            assert _materialize_for_shipping(scenario) is None
+        mentions = [
+            record
+            for record in caplog.records
+            if scenario.key() in record.getMessage()
+        ]
+        assert len(mentions) == 1  # once per scenario key, not per call
+
+    def test_unexpected_exceptions_propagate(self, monkeypatch):
+        from repro.experiments import no_transit
+        from repro.experiments.campaign import _materialize_for_shipping
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("generation crashed")
+
+        monkeypatch.setattr(no_transit, "materialize_network", boom)
+        with pytest.raises(RuntimeError, match="generation crashed"):
+            _materialize_for_shipping(Scenario(family="star", size=4, seed=0))

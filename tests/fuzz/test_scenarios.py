@@ -1,0 +1,79 @@
+"""Scenario generation: determinism, serialization, combination covers."""
+
+import json
+
+from repro.fuzz.oracle import (
+    ALL_NEW,
+    FUZZ_FACTORS,
+    LEGACY_BASELINE,
+    all_combos,
+    memo_partner,
+    pairwise_combos,
+)
+from repro.fuzz.scenarios import FuzzScenario, scenario_at
+
+
+class TestScenarioAt:
+    def test_pure_function_of_seed_and_index(self):
+        """The scenario sequence must be derivable in any process at
+        any worker count: index i never depends on indices before it."""
+        forward = [scenario_at(7, index) for index in range(20)]
+        shuffled = [scenario_at(7, index) for index in reversed(range(20))]
+        assert forward == list(reversed(shuffled))
+
+    def test_seeds_give_distinct_sequences(self):
+        a = [scenario_at(0, index).key() for index in range(10)]
+        b = [scenario_at(1, index).key() for index in range(10)]
+        assert a != b
+
+    def test_generated_scenarios_are_valid_coordinates(self):
+        """Every generated scenario names a real family with a size its
+        pools allow, and at least one edit."""
+        from repro.topology.families import FAMILIES
+
+        for index in range(30):
+            scenario = scenario_at(0, index)
+            assert scenario.family in FAMILIES
+            assert 3 <= scenario.size <= 10
+            assert 1 <= len(scenario.edits) <= 4
+
+    def test_serialization_roundtrip_is_byte_identical(self):
+        for index in range(10):
+            scenario = scenario_at(3, index)
+            rebuilt = FuzzScenario.from_dict(json.loads(scenario.to_json()))
+            assert rebuilt == scenario
+            assert rebuilt.to_json() == scenario.to_json()
+
+
+class TestCombos:
+    def test_all_combos_is_the_full_matrix(self):
+        combos = all_combos()
+        assert len(combos) == 2 ** len(FUZZ_FACTORS) == 32
+        assert len({json.dumps(c, sort_keys=True) for c in combos}) == 32
+        assert LEGACY_BASELINE in combos
+        assert ALL_NEW in combos
+
+    def test_pairwise_covers_every_factor_value_pair(self):
+        import itertools
+
+        chosen = pairwise_combos()
+        assert LEGACY_BASELINE in chosen
+        assert ALL_NEW in chosen
+        assert len(chosen) < 32  # it must actually be a subset
+        names = [name for name, _values in FUZZ_FACTORS]
+        values = dict(FUZZ_FACTORS)
+        covered = {
+            (a, combo[a], b, combo[b])
+            for combo in chosen
+            for a, b in itertools.combinations(names, 2)
+        }
+        for a, b in itertools.combinations(names, 2):
+            for va in values[a]:
+                for vb in values[b]:
+                    assert (a, va, b, vb) in covered, (a, va, b, vb)
+
+    def test_memo_partner_is_the_v1_twin(self):
+        assert memo_partner(ALL_NEW) == {**ALL_NEW, "route_model": "v1"}
+        assert memo_partner(LEGACY_BASELINE) is None
+        assert memo_partner({**ALL_NEW, "memoization": False}) is None
+        assert memo_partner({**ALL_NEW, "route_model": "v1"}) is None
