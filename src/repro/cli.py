@@ -8,6 +8,10 @@ Commands::
     incremental   run the §6 incremental-policy extension
     sweep         leverage statistics across seeds
     campaign      parallel scenario campaign over family × size × seed
+    serve         long-running campaign service (persistent workers + HTTP)
+    submit        submit a grid to a running service
+    status        live per-shard progress of a service campaign
+    result        merged summary of a service campaign (works mid-run)
     fuzz          differential fuzzing of the optimization-toggle matrix
 
 All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
@@ -27,7 +31,10 @@ after N scenarios (a deterministic interrupt for smoke tests).
 ``--report <journal>`` renders the summary (and ``--json``/``--csv``
 artifacts) from an existing journal without running anything — repeat
 the flag to merge several campaigns into one cross-campaign summary
-(duplicate scenario keys resolved last-flag-wins);
+(duplicate scenario keys resolved last-flag-wins); a ``--report``
+argument may also be a campaign-service directory, which expands to
+its manifest plus shard journals; ``--timeout SECONDS`` aborts a
+parallel run (resumably) when no scenario completes for that long;
 ``--no-incremental-sim`` disables warm incremental BGP re-simulation,
 ``--route-model v1`` restores the historical per-attribute route
 copies, ``--no-decision-cache`` disables cached best-path decision
@@ -261,7 +268,112 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "parallel runs only: if no scenario completes for SECONDS, "
+            "kill the pool and raise a resumable error instead of letting "
+            "one hung worker stall the grid forever"
+        ),
+    )
+    campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign service (persistent workers + HTTP API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default="campaign-service",
+        help="where campaign specs and sharded journals live",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="persistent worker processes"
+    )
+    serve.add_argument(
+        "--retry-limit",
+        type=int,
+        default=2,
+        help="resubmissions per work unit after a worker death",
+    )
+    serve.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "kill and replace a worker silent for SECONDS with a unit in "
+            "flight (0 disables hang detection; hard death is always "
+            "detected)"
+        ),
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a campaign grid to a running service"
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    submit.add_argument("--families", default="star,chain,ring,mesh")
+    submit.add_argument("--sizes", default="4,6,8")
+    submit.add_argument("--seeds", type=int, default=2)
+    submit.add_argument("--profiles", default="default")
+    submit.add_argument("--iip-ablation", action="store_true")
+    submit.add_argument("--roles", action="append", default=None)
+    submit.add_argument("--topo", action="append", default=None)
+    submit.add_argument("--place", action="append", default=None)
+    submit.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="scenarios per work unit (default: sized to the worker pool)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the campaign settles and exit by its outcome",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS"
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="print only the campaign id"
+    )
+
+    status = subparsers.add_parser(
+        "status", help="show a service campaign's live progress"
+    )
+    status.add_argument("id", nargs="?", default=None,
+                        help="campaign id (omit to list all)")
+    status.add_argument("--url", default="http://127.0.0.1:8642")
+    status.add_argument(
+        "--wait", action="store_true", help="poll until done or failed"
+    )
+    status.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS"
+    )
+
+    result = subparsers.add_parser(
+        "result",
+        help="fetch a service campaign's merged summary (works mid-run)",
+    )
+    result.add_argument("id", help="campaign id")
+    result.add_argument("--url", default="http://127.0.0.1:8642")
+    result.add_argument(
+        "--json",
+        default=None,
+        help="write the summary JSON (byte-identical to the batch CLI's)",
+    )
+    result.add_argument(
+        "--quiet", action="store_true", help="print only the one-line status"
     )
 
     fuzz = subparsers.add_parser(
@@ -347,9 +459,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "incremental": _cmd_incremental,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
         "fuzz": _cmd_fuzz,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # stdout piped into e.g. `head`, which exited first; redirect
+        # the dangling descriptor so the interpreter's shutdown flush
+        # doesn't print a spurious traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -459,6 +584,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .batfish.bgpsim import set_decision_cache, set_incremental_simulation
     from .netmodel.route import set_route_model
     from .experiments.campaign import (
+        CampaignInterrupted,
         build_grid,
         run_campaign,
         set_worker_shipping,
@@ -555,7 +681,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             journal_path=journal,
             resume=resume,
             limit=args.limit,
+            timeout=args.timeout,
         )
+    except CampaignInterrupted as exc:
+        # The pool died or stalled mid-grid.  Everything journaled so
+        # far survives; the message names the --resume invocation.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -587,6 +719,176 @@ def _emit_campaign_summary(
             f"pending; continue with --resume {journal}"
         )
     return 1 if summary.errors else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import CampaignService
+    from .service.httpapi import serve
+
+    try:
+        service = CampaignService(
+            args.state_dir,
+            workers=args.workers,
+            retry_limit=args.retry_limit,
+            stall_timeout_s=args.stall_timeout if args.stall_timeout > 0
+            else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        ready: "asyncio.Future" = loop.create_future()
+        server = asyncio.ensure_future(
+            serve(service, host=args.host, port=args.port, ready=ready)
+        )
+        host, port = await ready
+        # Scripts passing --port 0 parse this line for the bound port.
+        print(f"repro service listening on http://{host}:{port}", flush=True)
+        await server
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # port in use, unbindable host, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _render_campaign_status(status: dict) -> str:
+    extras = []
+    if status.get("resumed"):
+        extras.append(f"{status['resumed']} resumed")
+    if status.get("retries"):
+        extras.append(f"{status['retries']} retried unit(s)")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    return (
+        f"{status['id']}: {status['state']} "
+        f"{status['completed']}/{status['total']} scenario(s), "
+        f"{status['errors']} error(s){suffix}"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    spec = {
+        "families": [item for item in args.families.split(",") if item],
+        "seeds": args.seeds,
+        "profiles": [item for item in args.profiles.split(",") if item],
+        "iip_ablation": args.iip_ablation,
+    }
+    try:
+        spec["sizes"] = [int(item) for item in args.sizes.split(",") if item]
+    except ValueError:
+        print(f"error: invalid --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    if args.roles is not None:
+        spec["roles"] = args.roles
+    if args.topo is not None:
+        spec["topos"] = args.topo
+    if args.place is not None:
+        spec["places"] = args.place
+    if args.shard_size is not None:
+        spec["shard_size"] = args.shard_size
+    client = ServiceClient(args.url)
+    try:
+        accepted = client.submit(spec)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    campaign_id = accepted["id"]
+    if args.quiet:
+        print(campaign_id)
+    else:
+        print(
+            f"submitted {campaign_id}: {accepted['total']} scenario(s) in "
+            f"{accepted['units']} unit(s) of {accepted['shard_size']}"
+        )
+    if not args.wait:
+        return 0
+    try:
+        status = client.wait(campaign_id, timeout_s=args.wait_timeout)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(_render_campaign_status(status))
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.id is None:
+            campaigns = client.campaigns()["campaigns"]
+            if not campaigns:
+                print("no campaigns")
+                return 0
+            for status in campaigns:
+                print(_render_campaign_status(status))
+            return 0
+        if args.wait:
+            status = client.wait(args.id, timeout_s=args.wait_timeout)
+        else:
+            status = client.status(args.id)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_render_campaign_status(status))
+    for unit in status["units"]:
+        print(
+            f"  unit {unit['unit']:3d}: {unit['state']:<8} "
+            f"{unit['done']}/{unit['size']} done, "
+            f"{unit['attempts']} attempt(s)"
+        )
+    return 1 if status["state"] == "failed" else 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    import json
+
+    from pathlib import Path
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.result(args.id)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = (
+        "complete" if payload["complete"]
+        else f"incomplete, state {payload['state']}"
+    )
+    print(
+        f"{payload['id']}: {payload['scenarios']}/{payload['total']} "
+        f"scenario(s) merged ({progress})"
+    )
+    summary = payload["summary"]
+    if not args.quiet:
+        for family, stats in summary["families"].items():
+            leverage = stats["mean_leverage"]
+            rendered = "n/a" if leverage is None else f"{leverage:.1f}X"
+            print(
+                f"  {family:>8}: {stats['verified']}/{stats['scenarios']} "
+                f"verified, mean leverage {rendered}"
+            )
+    if args.json:
+        # The exact bytes CampaignSummary.write_json emits — a service
+        # result is interchangeable with a batch-CLI artifact.
+        target = Path(args.json)
+        target.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {target}")
+    return 1 if summary["errors"] else 0
 
 
 def _parse_budget(text: str) -> float:

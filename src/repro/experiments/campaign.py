@@ -40,10 +40,11 @@ import math
 import time
 import traceback
 import zlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TextIO
 
 from ..batfish.bgpsim import sim_totals
 from ..core import DEFAULT_IIP_IDS
@@ -53,6 +54,8 @@ from ..symbolic.memo import cache_totals
 from ..topology.families import FAMILIES
 
 __all__ = [
+    "CampaignInterrupted",
+    "CampaignStalled",
     "CampaignSummary",
     "CompletedScenario",
     "FamilySummary",
@@ -66,6 +69,7 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "scenario_seed",
+    "service_journals",
     "set_worker_shipping",
     "summary_from_journal",
     "summary_from_journals",
@@ -574,17 +578,43 @@ def _repair_trailing_newline(path: Path) -> None:
             handle.write(b"\n")
 
 
-def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
-    """Reconstruct completed scenarios by folding over a journal.
+def _open_journal(path: Path, append: bool) -> TextIO:
+    """Open a journal for writing.
+
+    Appending to an existing file *always* repairs a crash-truncated
+    final line first — the repair is part of opening, not a courtesy of
+    individual call sites, so no append path (resume, stale-grid
+    header, service shard re-attach) can write its first record onto
+    the fragment the previous crash left behind.
+    """
+    if append and path.exists():
+        _repair_trailing_newline(path)
+    return path.open("a" if append else "w")
+
+
+# Hoisted out of the fold loop: per-record dataclass reflection on a
+# million-row journal is pure overhead — the known field set only
+# changes when ScenarioResult itself does.
+_RESULT_FIELDS = frozenset(spec.name for spec in fields(ScenarioResult))
+
+
+def _scan_journal(
+    path: "Path | str", key_set: "Optional[set]" = None
+) -> "Tuple[Dict[str, CompletedScenario], Optional[List[str]]]":
+    """One pass over a journal: its completed records (optionally
+    restricted to a grid's scenario keys) *and* the last header's grid
+    keys — so callers needing both never read the file twice.
 
     Tolerant by design: malformed lines (e.g. a line truncated by the
     crash that the journal exists to survive) are skipped, and a key
     journaled twice keeps its latest record.
     """
     completed: Dict[str, CompletedScenario] = {}
+    header_keys: Optional[List[str]] = None
     target = Path(path)
     if not target.exists():
-        return completed
+        return completed, header_keys
+    known = _RESULT_FIELDS
     with target.open() as handle:
         for line in handle:
             line = line.strip()
@@ -594,16 +624,32 @@ def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if not isinstance(record, dict) or record.get("kind") != "result":
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("kind")
+            if kind == "campaign":
+                # Resuming a journal with a different grid appends a
+                # fresh header, so the *last* header describes the grid
+                # that owns the journal (None for legacy v1 headers).
+                candidate = record.get("keys")
+                header_keys = (
+                    candidate
+                    if isinstance(candidate, list)
+                    and all(isinstance(key, str) for key in candidate)
+                    else None
+                )
+                continue
+            if kind != "result":
                 continue
             key = record.get("key")
             row_fields = record.get("row")
             if not isinstance(key, str) or not isinstance(row_fields, dict):
                 continue
+            if key_set is not None and key not in key_set:
+                continue
             # Tolerate journals from other versions: older rows simply
             # lack newer defaulted fields (e.g. pre-v5 ``trace``), newer
             # rows may carry fields this build does not know.
-            known = {spec.name for spec in fields(ScenarioResult)}
             try:
                 completed[key] = CompletedScenario(
                     key=key,
@@ -627,39 +673,17 @@ def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
                 )
             except (TypeError, ValueError):
                 continue
-    return completed
+    return completed, header_keys
+
+
+def fold_journal(path: "Path | str") -> Dict[str, CompletedScenario]:
+    """Reconstruct completed scenarios by folding over a journal."""
+    return _scan_journal(path)[0]
 
 
 def _journal_grid_keys(path: "Path | str") -> Optional[List[str]]:
-    """The grid's scenario keys from the journal's *last* header.
-
-    Resuming a journal with a different grid appends a fresh header, so
-    the most recent header describes the grid that owns the journal.
-    Returns ``None`` for legacy (v1) journals whose header has no keys.
-    """
-    target = Path(path)
-    if not target.exists():
-        return None
-    keys: Optional[List[str]] = None
-    with target.open() as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if not isinstance(record, dict) or record.get("kind") != "campaign":
-                continue
-            candidate = record.get("keys")
-            keys = (
-                candidate
-                if isinstance(candidate, list)
-                and all(isinstance(key, str) for key in candidate)
-                else None
-            )
-    return keys
+    """The grid's scenario keys from the journal's *last* header."""
+    return _scan_journal(path)[1]
 
 
 def _summarize(
@@ -721,13 +745,14 @@ def summary_from_journals(paths: Sequence["Path | str"]) -> "CampaignSummary":
     completed: Dict[str, CompletedScenario] = {}
     ordered_keys: List[str] = []
     seen_keys: set = set()
-    for path in paths:
-        target = Path(path)
+    targets = [
+        expanded for path in paths for expanded in _expand_journal_arg(path)
+    ]
+    for target in targets:
         if not target.exists():
             raise ValueError(f"journal {target} does not exist")
-        records = fold_journal(target)
+        records, keys = _scan_journal(target)
         completed.update(records)  # later journals win on duplicates
-        keys = _journal_grid_keys(target)
         if keys is None:
             keys = list(records)  # legacy: completion order
         for key in keys:
@@ -748,11 +773,35 @@ def _fold_for_grid(
     journal: Path, key_set: "set[str]"
 ) -> Dict[str, CompletedScenario]:
     """The journal's records restricted to this grid's scenario keys."""
-    return {
-        key: record
-        for key, record in fold_journal(journal).items()
-        if key in key_set
-    }
+    return _scan_journal(journal, key_set)[0]
+
+
+def service_journals(path: "Path | str") -> List[Path]:
+    """The journal list of a campaign-service directory, manifest first.
+
+    The service writes one header-only ``manifest.jsonl`` (the grid's
+    keys, in grid order) plus one ``shard-NN.jsonl`` per worker slot;
+    folding them manifest-first reproduces exactly the row order a
+    batch run would journal, so the merged ``--report`` artifacts are
+    byte-identical to an uninterrupted single-journal campaign.
+    """
+    target = Path(path)
+    manifest = target / "manifest.jsonl"
+    if not manifest.exists():
+        raise ValueError(
+            f"{target} is not a campaign-service directory "
+            f"(no manifest.jsonl)"
+        )
+    return [manifest, *sorted(target.glob("shard-*.jsonl"))]
+
+
+def _expand_journal_arg(path: "Path | str") -> List[Path]:
+    """A journal argument: a JSONL file, or a campaign-service
+    directory that expands to its manifest + shard journals."""
+    target = Path(path)
+    if target.is_dir():
+        return service_journals(target)
+    return [target]
 
 
 # -- summaries -----------------------------------------------------------------
@@ -965,6 +1014,62 @@ class CampaignSummary:
 # -- the engine ----------------------------------------------------------------
 
 
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped early, but every finished row is journaled.
+
+    Raised instead of letting a raw :class:`BrokenProcessPool` (or a
+    stall) discard the run: the journal keeps everything that
+    completed, and the message tells the operator how to continue
+    (``--resume <journal>``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        journal: Optional[Path] = None,
+        completed: int = 0,
+        total: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.journal = journal
+        self.completed = completed
+        self.total = total
+
+
+class CampaignStalled(CampaignInterrupted):
+    """No scenario completed within the per-completion timeout."""
+
+
+def _interrupted_message(
+    cause: str, journal: Optional[Path], completed: int, total: int
+) -> str:
+    if journal is None:
+        return (
+            f"{cause}; no journal was configured, so the {completed} "
+            f"finished scenario(s) of {total} are lost — re-run with a "
+            f"journal (--journal) to make campaigns resumable"
+        )
+    return (
+        f"{cause}; {completed}/{total} scenario(s) are safe in {journal} "
+        f"— continue with --resume {journal}"
+    )
+
+
+def _shutdown_broken_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear down a pool we are abandoning: kill any worker still
+    running (a hung worker would block a plain shutdown forever), then
+    reap.  The kill must come first — ``shutdown()`` drops the
+    executor's process references even with ``wait=False``, so there
+    is nothing left to kill afterwards."""
+    processes = dict(getattr(executor, "_processes", None) or {})
+    for process in processes.values():
+        try:
+            process.kill()
+        except Exception:  # already gone
+            pass
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
 def _toggle_snapshot() -> Dict[str, object]:
     from ..core import toggles
 
@@ -992,6 +1097,7 @@ def run_campaign(
     journal_path: "Path | str | None" = None,
     resume: bool = False,
     limit: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> CampaignSummary:
     """Run every scenario, serially or over a process pool.
 
@@ -1004,6 +1110,15 @@ def run_campaign(
     the journal *first* and re-runs only the scenarios it lacks.
     ``limit`` caps how many pending scenarios run (the deterministic
     way to interrupt a campaign mid-grid).
+
+    A worker crash (:class:`BrokenProcessPool`) no longer aborts the
+    grid with a raw traceback: every row journaled before the crash is
+    kept, and a :class:`CampaignInterrupted` naming ``--resume`` is
+    raised.  ``timeout`` bounds how long the parallel loop waits for
+    the *next* completion — one hung worker raises
+    :class:`CampaignStalled` (and is killed) instead of stalling the
+    grid forever.  The serial path runs scenarios inline and cannot
+    preempt them, so ``timeout`` only applies with ``workers > 1``.
     """
     grid = list(scenarios)
     keys = [scenario.key() for scenario in grid]
@@ -1013,19 +1128,24 @@ def run_campaign(
     if resume and journal is None:
         raise ValueError("resume=True requires a journal_path")
     completed: Dict[str, CompletedScenario] = {}
-    if resume and journal.exists():
-        completed = _fold_for_grid(journal, key_set)
-    elif journal is not None and journal.exists() and _fold_for_grid(
-        journal, key_set
-    ):
-        # The journal exists to survive interruptions; silently
-        # truncating one that holds this grid's results would destroy
-        # exactly the work it protects.
-        raise ValueError(
-            f"journal {journal} already holds results for this grid; "
-            f"pass resume=True (--resume) to continue it, or remove the "
-            f"file to start over"
-        )
+    header_keys: Optional[List[str]] = None
+    journal_exists = journal is not None and journal.exists()
+    if journal_exists:
+        # One pass recovers both this grid's completed records and the
+        # last header's keys (the fold used to run twice: once merely
+        # to test truthiness, then again for the grid keys).
+        records, header_keys = _scan_journal(journal, key_set)
+        if resume:
+            completed = records
+        elif records:
+            # The journal exists to survive interruptions; silently
+            # truncating one that holds this grid's results would
+            # destroy exactly the work it protects.
+            raise ValueError(
+                f"journal {journal} already holds results for this grid; "
+                f"pass resume=True (--resume) to continue it, or remove "
+                f"the file to start over"
+            )
     resumed = len(completed)
     pending = [scenario for scenario in grid if scenario.key() not in completed]
     if limit is not None:
@@ -1033,11 +1153,9 @@ def run_campaign(
 
     handle: Optional[TextIO] = None
     if journal is not None:
-        appending = resume and journal.exists()
-        stale_header = appending and _journal_grid_keys(journal) != keys
-        if appending:
-            _repair_trailing_newline(journal)
-        handle = journal.open("a" if appending else "w")
+        appending = resume and journal_exists
+        stale_header = appending and header_keys != keys
+        handle = _open_journal(journal, append=appending)
         if not appending or stale_header:
             # Fresh journals get a header; resuming under a *different*
             # grid appends a new one, so offline --report reconstruction
@@ -1060,12 +1178,14 @@ def run_campaign(
                 if handle is not None:
                     _append(handle, _journal_line(record))
         else:
-            with ProcessPoolExecutor(
+            executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
                 initargs=(_toggle_snapshot(),),
-            ) as executor:
-                futures = [
+            )
+            abandoned = False
+            try:
+                outstanding = {
                     executor.submit(
                         execute_scenario,
                         scenario,
@@ -1073,12 +1193,50 @@ def run_campaign(
                         else None,
                     )
                     for scenario in pending
-                ]
-                for future in as_completed(futures):
-                    record = future.result()
-                    completed[record.key] = record
-                    if handle is not None:
-                        _append(handle, _journal_line(record))
+                }
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding,
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        raise CampaignStalled(
+                            _interrupted_message(
+                                f"no scenario completed within "
+                                f"{timeout:g}s (hung worker?)",
+                                journal, len(completed), len(grid),
+                            ),
+                            journal=journal,
+                            completed=len(completed),
+                            total=len(grid),
+                        )
+                    for future in done:
+                        # A worker that died hard (SIGKILL, OOM, C-level
+                        # crash) surfaces here as BrokenProcessPool.
+                        record = future.result()
+                        completed[record.key] = record
+                        if handle is not None:
+                            _append(handle, _journal_line(record))
+            except BrokenProcessPool as exc:
+                abandoned = True
+                raise CampaignInterrupted(
+                    _interrupted_message(
+                        f"campaign worker pool broke ({exc})",
+                        journal, len(completed), len(grid),
+                    ),
+                    journal=journal,
+                    completed=len(completed),
+                    total=len(grid),
+                ) from exc
+            except CampaignStalled:
+                abandoned = True
+                raise
+            finally:
+                if abandoned:
+                    _shutdown_broken_pool(executor)
+                else:
+                    executor.shutdown(wait=True)
     finally:
         if handle is not None:
             handle.close()

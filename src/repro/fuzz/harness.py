@@ -367,7 +367,7 @@ def run_fuzz(
     records are written by the parent only, so worker count never
     changes what lands on disk.
     """
-    from ..experiments.campaign import _append, _repair_trailing_newline
+    from ..experiments.campaign import _append, _open_journal
 
     if config.iterations is None and config.budget_s is None:
         raise ValueError("FuzzConfig needs iterations or budget_s")
@@ -380,7 +380,7 @@ def _run_fuzz_loop(
     journal_path: "Path | str | None",
     resume: bool,
 ) -> FuzzSummary:
-    from ..experiments.campaign import _append, _repair_trailing_newline
+    from ..experiments.campaign import _append, _open_journal
 
     started = time.perf_counter()
     combos = config.combos()
@@ -395,9 +395,10 @@ def _run_fuzz_loop(
     handle = None
     if journal is not None:
         appending = resume and journal.exists()
-        if appending:
-            _repair_trailing_newline(journal)
-        handle = journal.open("a" if appending else "w")
+        # _open_journal repairs a crash-truncated final line whenever
+        # it appends, so the first resumed record never lands on the
+        # fragment the crash left behind.
+        handle = _open_journal(journal, append=appending)
         if not appending:
             _append(handle, _fuzz_header(config, len(combos)))
 

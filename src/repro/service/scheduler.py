@@ -1,0 +1,555 @@
+"""The asyncio scheduler: shards, persistent workers, retries, state dir.
+
+:class:`CampaignService` owns a fixed set of worker *slots*.  Each slot
+is one persistent OS process (spawn start method — fork from an
+asyncio/multi-threaded parent inherits locked queue-feeder locks) with
+its own task queue; all slots share one result queue.  The scheduler's
+pump loop drains results, checks worker liveness and heartbeat
+freshness, and dispatches pending work units to idle slots — one
+in-flight unit per worker, so a dead worker forfeits exactly one unit
+and the scheduler knows which.
+
+Everything durable lives in the state directory::
+
+    <state_dir>/<campaign id>/spec.json        submission + materialized grid
+    <state_dir>/<campaign id>/manifest.jsonl   header-only journal (grid keys)
+    <state_dir>/<campaign id>/shard-NN.jsonl   one v5 journal per worker slot
+
+Workers append finished scenarios to their shard before reporting
+them, so the scheduler's in-memory progress is always a lower bound on
+what is journaled.  On startup the service folds every campaign's
+shards and resubmits only the missing scenarios (partially-finished
+units carry a skip set) — a grid survives worker SIGKILLs *and* full
+service restarts, and ``repro campaign --report <campaign dir>``
+renders artifacts byte-identical to an uninterrupted batch run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..experiments.campaign import (
+    CampaignSummary,
+    Scenario,
+    _append,
+    _journal_header,
+    _open_journal,
+    _scan_journal,
+    summary_from_journals,
+)
+from .spec import CampaignSpec, shard_scenarios, spec_fingerprint
+from .worker import worker_main
+
+__all__ = ["CampaignService", "CampaignState", "WorkUnit"]
+
+_LOGGER = logging.getLogger(__name__)
+
+SPEC_FILENAME = "spec.json"
+MANIFEST_FILENAME = "manifest.jsonl"
+
+
+@dataclass
+class WorkUnit:
+    """One contiguous grid slice: the unit of dispatch and retry."""
+
+    index: int
+    scenarios: List[Scenario]
+    state: str = "pending"  # pending | running | done | failed
+    attempts: int = 0  # dispatches so far (1 = first run, no retry yet)
+    done_keys: Set[str] = field(default_factory=set)
+    slot: Optional[int] = None
+
+    @property
+    def keys(self) -> List[str]:
+        return [scenario.key() for scenario in self.scenarios]
+
+    @property
+    def remaining(self) -> int:
+        return sum(1 for key in self.keys if key not in self.done_keys)
+
+
+@dataclass
+class CampaignState:
+    """One submitted campaign: its grid, units, and progress."""
+
+    id: str
+    spec: CampaignSpec
+    grid: List[Scenario]
+    shard_size: int
+    directory: Path
+    units: List[WorkUnit]
+    resumed: int = 0  # keys recovered from shard journals at (re)load
+    retries: int = 0  # resubmissions after worker death or stall
+    error_keys: Set[str] = field(default_factory=set)
+
+    @property
+    def total(self) -> int:
+        return len(self.grid)
+
+    @property
+    def completed(self) -> int:
+        return sum(len(unit.done_keys) for unit in self.units)
+
+    @property
+    def state(self) -> str:
+        if all(unit.state == "done" for unit in self.units):
+            return "done"
+        if any(unit.state in ("pending", "running") for unit in self.units):
+            return "running"
+        return "failed"  # nothing left to schedule, but units failed
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "total": self.total,
+            "completed": self.completed,
+            "errors": len(self.error_keys),
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "shard_size": self.shard_size,
+            "units": [
+                {
+                    "unit": unit.index,
+                    "state": unit.state,
+                    "size": len(unit.scenarios),
+                    "done": len(unit.done_keys),
+                    "attempts": unit.attempts,
+                    "slot": unit.slot,
+                }
+                for unit in self.units
+            ],
+        }
+
+
+class _Slot:
+    """One persistent worker: process + private task queue + liveness."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.tasks = None  # per-incarnation task queue
+        self.unit: Optional[Tuple[str, int]] = None  # (campaign id, unit idx)
+        self.last_seen: float = 0.0
+        self.generation: int = 0  # respawn count, for status/debugging
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def idle(self) -> bool:
+        return self.alive and self.unit is None
+
+
+class CampaignService:
+    """The long-running scheduler behind ``repro serve``."""
+
+    def __init__(
+        self,
+        state_dir: "Path | str",
+        workers: int = 2,
+        retry_limit: int = 2,
+        heartbeat_s: float = 0.5,
+        stall_timeout_s: Optional[float] = 60.0,
+        poll_s: float = 0.02,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.state_dir = Path(state_dir)
+        self.workers = workers
+        self.retry_limit = retry_limit
+        self.heartbeat_s = heartbeat_s
+        self.stall_timeout_s = stall_timeout_s
+        self.poll_s = poll_s
+        self.started_at = time.monotonic()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._results = self._ctx.Queue()
+        self._slots = [_Slot(index) for index in range(workers)]
+        self._campaigns: Dict[str, CampaignState] = {}
+        self._stop_event: Optional[asyncio.Event] = None
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool and reload persisted campaigns."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._load_campaigns()
+        for slot in self._slots:
+            self._spawn(slot)
+        self._running = True
+
+    async def run(self) -> None:
+        """Serve until :meth:`request_stop` — the asyncio main loop."""
+        self._stop_event = asyncio.Event()
+        if not self._running:
+            self.start()
+        try:
+            while not self._stop_event.is_set():
+                self._drain_results()
+                self._reap_workers()
+                self._dispatch()
+                try:
+                    await asyncio.wait_for(
+                        self._stop_event.wait(), timeout=self.poll_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            self.shutdown()
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def shutdown(self, join_timeout_s: float = 2.0) -> None:
+        """Stop workers; in-flight units stay journaled up to their last
+        finished scenario and resume on the next start."""
+        self._running = False
+        for slot in self._slots:
+            if slot.alive and slot.tasks is not None:
+                try:
+                    slot.tasks.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + join_timeout_s
+        for slot in self._slots:
+            if slot.process is None:
+                continue
+            slot.process.join(max(0.0, deadline - time.monotonic()))
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(1.0)
+            slot.process = None
+
+    # -- submission & queries --------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> CampaignState:
+        """Validate, persist, and enqueue a campaign; returns its state.
+
+        Everything needed to finish the campaign after a crash is on
+        disk before this returns: the materialized grid in
+        ``spec.json`` and the grid-ordered manifest header the offline
+        report merges shards under.
+        """
+        grid = spec.build()  # ValueError on bad axes, same as batch CLI
+        if not grid:
+            raise ValueError("campaign grid is empty")
+        shard_size = spec.resolve_shard_size(len(grid), self.workers)
+        campaign_id = self._next_id()
+        directory = self.state_dir / campaign_id
+        directory.mkdir(parents=True)
+        (directory / SPEC_FILENAME).write_text(
+            json.dumps(
+                {
+                    "id": campaign_id,
+                    "spec": spec.to_dict(),
+                    "shard_size": shard_size,
+                    "grid": [asdict(scenario) for scenario in grid],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        manifest = _open_journal(directory / MANIFEST_FILENAME, append=False)
+        try:
+            _append(manifest, _journal_header(grid))
+        finally:
+            manifest.close()
+        state = CampaignState(
+            id=campaign_id,
+            spec=spec,
+            grid=grid,
+            shard_size=shard_size,
+            directory=directory,
+            units=[
+                WorkUnit(index=index, scenarios=slice_)
+                for index, slice_ in enumerate(
+                    shard_scenarios(grid, shard_size)
+                )
+            ],
+        )
+        self._campaigns[campaign_id] = state
+        _LOGGER.info(
+            "campaign %s submitted (spec %s): %d scenario(s) in %d unit(s)",
+            campaign_id, spec_fingerprint(spec), state.total, len(state.units),
+        )
+        return state
+
+    def campaign(self, campaign_id: str) -> CampaignState:
+        try:
+            return self._campaigns[campaign_id]
+        except KeyError:
+            raise ValueError(f"unknown campaign {campaign_id!r}") from None
+
+    def campaign_ids(self) -> List[str]:
+        return sorted(self._campaigns)
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        return self.campaign(campaign_id).status()
+
+    def workers_status(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "slot": slot.index,
+                "pid": slot.process.pid if slot.process is not None else None,
+                "alive": slot.alive,
+                "generation": slot.generation,
+                "unit": (
+                    f"{slot.unit[0]}:{slot.unit[1]}"
+                    if slot.unit is not None else None
+                ),
+            }
+            for slot in self._slots
+        ]
+
+    def journals(self, campaign_id: str) -> List[Path]:
+        """Manifest + existing shard journals, manifest first (the
+        merge order that reproduces batch-run row order)."""
+        state = self.campaign(campaign_id)
+        return [
+            state.directory / MANIFEST_FILENAME,
+            *sorted(state.directory.glob("shard-*.jsonl")),
+        ]
+
+    def result(self, campaign_id: str) -> Tuple[CampaignSummary, bool]:
+        """The merged summary *right now* — streamable mid-run — plus
+        whether the campaign is complete."""
+        state = self.campaign(campaign_id)
+        summary = summary_from_journals(self.journals(campaign_id))
+        return summary, state.state == "done"
+
+    # -- internals -------------------------------------------------------------
+
+    def _next_id(self) -> str:
+        taken = set(self._campaigns)
+        if self.state_dir.exists():
+            taken.update(p.name for p in self.state_dir.iterdir() if p.is_dir())
+        index = len(taken) + 1
+        while f"c{index:04d}" in taken:
+            index += 1
+        return f"c{index:04d}"
+
+    def _shard_path(self, state: CampaignState, slot: int) -> Path:
+        return state.directory / f"shard-{slot:02d}.jsonl"
+
+    def _load_campaigns(self) -> None:
+        """Reload persisted campaigns; completed scenarios (folded from
+        the shard journals) are never re-run."""
+        for spec_path in sorted(self.state_dir.glob(f"*/{SPEC_FILENAME}")):
+            directory = spec_path.parent
+            try:
+                payload = json.loads(spec_path.read_text())
+                spec = CampaignSpec.from_dict(payload["spec"])
+                grid = [Scenario(**coords) for coords in payload["grid"]]
+                shard_size = int(payload["shard_size"])
+                campaign_id = payload["id"]
+            except (KeyError, TypeError, ValueError) as exc:
+                _LOGGER.warning(
+                    "skipping unreadable campaign dir %s: %s", directory, exc
+                )
+                continue
+            key_set = {scenario.key() for scenario in grid}
+            done: Set[str] = set()
+            errors: Set[str] = set()
+            for shard in sorted(directory.glob("shard-*.jsonl")):
+                records, _ = _scan_journal(shard, key_set)
+                done.update(records)
+                errors.update(
+                    key for key, record in records.items()
+                    if record.row.error is not None
+                )
+            units = []
+            for index, slice_ in enumerate(shard_scenarios(grid, shard_size)):
+                unit = WorkUnit(index=index, scenarios=slice_)
+                unit.done_keys = {
+                    key for key in unit.keys if key in done
+                }
+                if unit.remaining == 0:
+                    unit.state = "done"
+                units.append(unit)
+            self._campaigns[campaign_id] = CampaignState(
+                id=campaign_id,
+                spec=spec,
+                grid=grid,
+                shard_size=shard_size,
+                directory=directory,
+                units=units,
+                resumed=len(done),
+                error_keys=errors,
+            )
+            pending = sum(1 for unit in units if unit.state == "pending")
+            _LOGGER.info(
+                "campaign %s reloaded: %d/%d scenario(s) journaled, "
+                "%d unit(s) pending", campaign_id, len(done), len(grid),
+                pending,
+            )
+
+    def _spawn(self, slot: _Slot) -> None:
+        """(Re)start a slot with a fresh task queue.  The old queue may
+        hold a partially-consumed item from the dead incarnation, so it
+        is abandoned wholesale — the in-flight unit is re-dispatched
+        explicitly by the caller."""
+        slot.tasks = self._ctx.Queue()
+        slot.process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                slot.index,
+                slot.tasks,
+                self._results,
+                self._toggle_snapshot(),
+                self.heartbeat_s,
+            ),
+            daemon=True,
+            name=f"repro-service-worker-{slot.index}",
+        )
+        slot.process.start()
+        slot.generation += 1
+        slot.unit = None
+        slot.last_seen = time.monotonic()
+
+    @staticmethod
+    def _toggle_snapshot() -> Dict[str, Any]:
+        from ..core import toggles
+
+        return toggles.snapshot()
+
+    def _drain_results(self) -> None:
+        while True:
+            try:
+                message = self._results.get_nowait()
+            except queue_module.Empty:
+                break
+            except (EOFError, OSError):
+                break
+            kind, slot_index = message[0], message[1]
+            if 0 <= slot_index < len(self._slots):
+                self._slots[slot_index].last_seen = time.monotonic()
+            if kind == "row":
+                _, _, campaign_id, unit_index, key, has_error = message
+                state = self._campaigns.get(campaign_id)
+                if state is None or not 0 <= unit_index < len(state.units):
+                    continue
+                state.units[unit_index].done_keys.add(key)
+                if has_error:
+                    state.error_keys.add(key)
+            elif kind == "unit":
+                _, _, campaign_id, unit_index = message
+                state = self._campaigns.get(campaign_id)
+                if state is None or not 0 <= unit_index < len(state.units):
+                    continue
+                unit = state.units[unit_index]
+                # Guard against a stalled-then-killed worker's stale
+                # completion racing the resubmitted unit: only the
+                # current owner may complete it.
+                if unit.slot == slot_index:
+                    unit.state = "done"
+                    unit.slot = None
+                    slot = self._slots[slot_index]
+                    if slot.unit == (campaign_id, unit_index):
+                        slot.unit = None
+
+    def _reap_workers(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if not self._running:
+                return
+            if slot.process is None:
+                continue
+            dead = not slot.process.is_alive()
+            stalled = (
+                not dead
+                and self.stall_timeout_s is not None
+                and slot.unit is not None
+                and now - slot.last_seen > self.stall_timeout_s
+            )
+            if not dead and not stalled:
+                continue
+            if stalled:
+                _LOGGER.warning(
+                    "worker %d silent for %.1fs with unit %s in flight; "
+                    "killing it", slot.index, now - slot.last_seen, slot.unit,
+                )
+                slot.process.kill()
+                slot.process.join(1.0)
+            forfeited = slot.unit
+            _LOGGER.warning(
+                "worker %d (pid %s) died%s; respawning",
+                slot.index, slot.process.pid,
+                f" with unit {forfeited} in flight" if forfeited else "",
+            )
+            self._spawn(slot)
+            if forfeited is not None:
+                self._forfeit(forfeited)
+
+    def _forfeit(self, assignment: Tuple[str, int]) -> None:
+        campaign_id, unit_index = assignment
+        state = self._campaigns.get(campaign_id)
+        if state is None or not 0 <= unit_index < len(state.units):
+            return
+        unit = state.units[unit_index]
+        if unit.state != "running":
+            return
+        unit.slot = None
+        if unit.attempts > self.retry_limit:
+            unit.state = "failed"
+            _LOGGER.error(
+                "campaign %s unit %d failed: retry budget (%d) exhausted "
+                "after %d attempt(s); %d scenario(s) of the unit are "
+                "journaled", campaign_id, unit_index, self.retry_limit,
+                unit.attempts, len(unit.done_keys),
+            )
+        else:
+            unit.state = "pending"
+            state.retries += 1
+            _LOGGER.info(
+                "campaign %s unit %d resubmitted (attempt %d of %d); "
+                "%d finished scenario(s) will be skipped",
+                campaign_id, unit_index, unit.attempts + 1,
+                self.retry_limit + 1, len(unit.done_keys),
+            )
+
+    def _dispatch(self) -> None:
+        for slot in self._slots:
+            if not slot.idle:
+                continue
+            assignment = self._next_pending()
+            if assignment is None:
+                return
+            state, unit = assignment
+            payload = {
+                "campaign": state.id,
+                "unit": unit.index,
+                "scenarios": [asdict(s) for s in unit.scenarios],
+                "skip": sorted(unit.done_keys),
+                "shard": str(self._shard_path(state, slot.index)),
+                "chaos": (
+                    state.spec.chaos_kill_key
+                    if state.spec.chaos_kill_key is not None
+                    and (state.spec.chaos_always or unit.attempts == 0)
+                    and state.spec.chaos_kill_key not in unit.done_keys
+                    else None
+                ),
+            }
+            unit.state = "running"
+            unit.slot = slot.index
+            unit.attempts += 1
+            slot.unit = (state.id, unit.index)
+            slot.tasks.put(payload)
+
+    def _next_pending(self) -> Optional[Tuple[CampaignState, WorkUnit]]:
+        for campaign_id in sorted(self._campaigns):
+            state = self._campaigns[campaign_id]
+            for unit in state.units:
+                if unit.state == "pending":
+                    return state, unit
+        return None

@@ -1,0 +1,122 @@
+"""The persistent worker process: warm caches, shard journals, heartbeats.
+
+Each worker slot runs :func:`worker_main` in its own process for the
+lifetime of the service.  Unlike the batch engine's pool — which
+pickles one task per scenario — a worker here receives whole *work
+units* (a contiguous grid slice) over its task queue and executes them
+with :func:`repro.experiments.campaign.execute_scenario`, so the
+process-local memoization caches, interned route attributes, and warm
+per-topology simulation states survive across units and across
+campaigns.
+
+Durability contract: a scenario's journal line is appended and flushed
+to the worker's shard journal *before* its completion message is
+posted, so any key the scheduler saw finish is guaranteed to be on
+disk — a SIGKILL can only lose the scenario in flight, never one that
+was reported.  Shard files are opened through the campaign engine's
+``_open_journal``, which repairs a crash-truncated final line whenever
+it appends: a respawned worker re-attaching to its dead predecessor's
+shard cannot write onto the fragment.
+
+A daemon thread posts heartbeats every ``heartbeat_s`` so the
+scheduler can tell a *hung* worker (alive but silent) from a busy one;
+hard death (SIGKILL, OOM) is detected by the process liveness check.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from pathlib import Path
+from typing import Any, Dict
+
+__all__ = ["worker_main"]
+
+# Message kinds posted on the shared result queue.  Tuples, not
+# dataclasses: they must unpickle in the parent without importing this
+# module's class definitions mid-drain.
+#   ("hb", slot)                         liveness heartbeat
+#   ("started", slot, campaign, unit)    unit accepted, now running
+#   ("row", slot, campaign, unit, key, has_error)
+#   ("unit", slot, campaign, unit)       unit finished (all rows journaled)
+#   ("bye", slot)                        clean shutdown acknowledgement
+
+
+def _heartbeat_loop(result_queue, slot: int, interval_s: float,
+                    stop: threading.Event) -> None:
+    while not stop.wait(interval_s):
+        try:
+            result_queue.put(("hb", slot))
+        except Exception:
+            return  # parent gone; the process is about to be reaped
+
+
+def worker_main(
+    slot: int,
+    task_queue,
+    result_queue,
+    toggle_values: Dict[str, Any],
+    heartbeat_s: float,
+) -> None:
+    """Run work units until the ``None`` shutdown sentinel arrives."""
+    from ..core import toggles
+    from ..experiments.campaign import (
+        Scenario,
+        _append,
+        _journal_line,
+        _open_journal,
+        execute_scenario,
+    )
+
+    # The service parent snapshots its toggle registry at spawn time —
+    # the same propagation contract as the batch engine's _init_worker,
+    # so a toggle added to the registry reaches service workers
+    # automatically.
+    toggles.apply(toggle_values)
+
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(result_queue, slot, heartbeat_s, stop),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            campaign = task["campaign"]
+            unit = task["unit"]
+            skip = set(task.get("skip") or ())
+            chaos_key = task.get("chaos")
+            result_queue.put(("started", slot, campaign, unit))
+            shard = Path(task["shard"])
+            handle = _open_journal(shard, append=True)
+            try:
+                for coordinates in task["scenarios"]:
+                    scenario = Scenario(**coordinates)
+                    key = scenario.key()
+                    if key in skip:
+                        continue  # journaled by a previous attempt
+                    if chaos_key is not None and key == chaos_key:
+                        # Crash injection: die exactly the way the
+                        # scheduler must survive — no cleanup, no
+                        # goodbye, mid-unit.
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    record = execute_scenario(scenario)
+                    _append(handle, _journal_line(record))
+                    result_queue.put(
+                        ("row", slot, campaign, unit, key,
+                         record.row.error is not None)
+                    )
+            finally:
+                handle.close()
+            result_queue.put(("unit", slot, campaign, unit))
+    finally:
+        stop.set()
+        try:
+            result_queue.put(("bye", slot))
+        except Exception:
+            pass

@@ -14,6 +14,7 @@ from repro.cli import main
 from repro.experiments.campaign import (
     build_grid,
     run_campaign,
+    service_journals,
     summary_from_journal,
     summary_from_journals,
 )
@@ -260,6 +261,73 @@ class TestMultiJournalMerge:
         ])
         assert code == 2
         assert "--roles" in capsys.readouterr().err
+
+
+class TestServiceDirectoryExpansion:
+    """A --report argument may be a campaign-service directory: it
+    expands to the manifest (grid order) plus every shard journal."""
+
+    @pytest.fixture(scope="class")
+    def campaign_dir(self, tmp_path_factory):
+        """A hand-built service layout: the grid's header in
+        manifest.jsonl, the result rows split across two shards."""
+        import json as json_module
+
+        tmp_path = tmp_path_factory.mktemp("svc")
+        source = tmp_path / "source.jsonl"
+        run_campaign(_grid(), workers=1, journal_path=source)
+        lines = source.read_text().splitlines()
+        directory = tmp_path / "c0001"
+        directory.mkdir()
+        (directory / "manifest.jsonl").write_text(lines[0] + "\n")
+        body = lines[1:]
+        # interleave rows across shards so neither holds grid order
+        (directory / "shard-00.jsonl").write_text(
+            "\n".join(body[1::2]) + "\n"
+        )
+        (directory / "shard-01.jsonl").write_text(
+            "\n".join(body[0::2]) + "\n"
+        )
+        return tmp_path, directory, source
+
+    def test_expansion_lists_manifest_first(self, campaign_dir):
+        _tmp, directory, _source = campaign_dir
+        journals = service_journals(directory)
+        assert journals[0].name == "manifest.jsonl"
+        assert [p.name for p in journals[1:]] == [
+            "shard-00.jsonl", "shard-01.jsonl",
+        ]
+
+    def test_directory_report_matches_single_journal(
+        self, campaign_dir, tmp_path
+    ):
+        _tmp, directory, source = campaign_dir
+        merged = summary_from_journals([directory])
+        single = summary_from_journal(source)
+        assert _artifacts(merged, tmp_path, "dir") == _artifacts(
+            single, tmp_path, "single"
+        )
+
+    def test_cli_report_accepts_the_directory(
+        self, campaign_dir, tmp_path, capsys
+    ):
+        _tmp, directory, source = campaign_dir
+        out_a = tmp_path / "dir.json"
+        out_b = tmp_path / "file.json"
+        assert main([
+            "campaign", "--report", str(directory), "--json", str(out_a),
+        ]) == 0
+        assert main([
+            "campaign", "--report", str(source), "--json", str(out_b),
+        ]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_directory_without_manifest_is_rejected(self, tmp_path):
+        (tmp_path / "plain").mkdir()
+        with pytest.raises(ValueError, match="manifest.jsonl"):
+            service_journals(tmp_path / "plain")
+        with pytest.raises(ValueError, match="manifest.jsonl"):
+            summary_from_journals([tmp_path / "plain"])
 
 
 class TestWorkerToggles:
