@@ -57,8 +57,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..netmodel.device import RouterConfig
 from ..netmodel.ip import Ipv4Address, Prefix
-from ..netmodel.route import _STATS as _ROUTE_STATS
-from ..netmodel.route import Protocol, Route, route_model_is_v2
+from ..netmodel.route import (
+    ROUTES_REUSED,
+    Protocol,
+    Route,
+    route_model_is_v2,
+)
+from ..obs import counter, span, timer
 from ..netmodel.routebuilder import RouteBuilder, export_route
 from ..netmodel.routing_policy import (
     Action,
@@ -525,7 +530,7 @@ class BgpSimulation:
                     # pipeline's output (candidate or denial) is reused
                     # verbatim instead of being rebuilt.
                     candidate = cached[1]
-                    _ROUTE_STATS["routes_reused"] += 1
+                    ROUTES_REUSED.inc()
                     if candidate is None:
                         continue  # denied last time; entry unchanged
                 else:
@@ -896,16 +901,15 @@ def batched_evaluation_enabled() -> bool:
 
 _ENABLED = True
 
-_STATS = {
-    "full_runs": 0,
-    "incremental_runs": 0,
-    "full_evaluations": 0,
-    "incremental_evaluations": 0,
-    "full_time_s": 0.0,
-    "incremental_time_s": 0.0,
-    "reused_entries": 0,
-    "invalidated_entries": 0,
-}
+# Registry-backed simulation accounting.  The converge timers double as
+# run counters: ``count`` is runs, ``total_s`` is accumulated wall-clock
+# (the ``sim_totals`` view below re-exposes the historical key names).
+_FULL_CONVERGE = timer("sim.full_converge")
+_INCREMENTAL_CONVERGE = timer("sim.incremental_converge")
+_FULL_EVALUATIONS = counter("sim.full_evaluations")
+_INCREMENTAL_EVALUATIONS = counter("sim.incremental_evaluations")
+_REUSED_ENTRIES = counter("sim.reused_entries")
+_INVALIDATED_ENTRIES = counter("sim.invalidated_entries")
 
 
 def set_incremental_simulation(enabled: bool) -> None:
@@ -922,14 +926,30 @@ def incremental_simulation_enabled() -> bool:
 
 
 def reset_sim_stats() -> None:
-    for key in _STATS:
-        _STATS[key] = 0.0 if key.endswith("_time_s") else 0
+    for instrument in (
+        _FULL_CONVERGE,
+        _INCREMENTAL_CONVERGE,
+        _FULL_EVALUATIONS,
+        _INCREMENTAL_EVALUATIONS,
+        _REUSED_ENTRIES,
+        _INVALIDATED_ENTRIES,
+    ):
+        instrument.reset()
 
 
 def sim_totals() -> Dict[str, float]:
     """Process-wide simulation accounting (full vs incremental runs,
     route evaluations, wall-clock) for campaign reporting."""
-    return dict(_STATS)
+    return {
+        "full_runs": _FULL_CONVERGE.count,
+        "incremental_runs": _INCREMENTAL_CONVERGE.count,
+        "full_evaluations": _FULL_EVALUATIONS.value,
+        "incremental_evaluations": _INCREMENTAL_EVALUATIONS.value,
+        "full_time_s": _FULL_CONVERGE.total_s,
+        "incremental_time_s": _INCREMENTAL_CONVERGE.total_s,
+        "reused_entries": _REUSED_ENTRIES.value,
+        "invalidated_entries": _INVALIDATED_ENTRIES.value,
+    }
 
 
 @dataclass(frozen=True)
@@ -996,12 +1016,12 @@ class SimulationState:
     def converge(self, configs: Dict[str, RouterConfig]) -> ResimStats:
         """Full from-scratch convergence; replaces any prior state."""
         started = time.perf_counter()
-        sim = BgpSimulation(configs)
-        sim.run()
+        with span("converge", mode="full", routers=len(configs)):
+            sim = BgpSimulation(configs)
+            sim.run()
         self._sim = sim
-        _STATS["full_runs"] += 1
-        _STATS["full_evaluations"] += sim.evaluations
-        _STATS["full_time_s"] += time.perf_counter() - started
+        _FULL_CONVERGE.observe(time.perf_counter() - started)
+        _FULL_EVALUATIONS.inc(sim.evaluations)
         self.last_stats = ResimStats(mode="full", evaluations=sim.evaluations)
         return self.last_stats
 
@@ -1024,6 +1044,15 @@ class SimulationState:
         ):
             return self.converge(configs)
         started = time.perf_counter()
+        with span("converge", mode="incremental", routers=len(configs)):
+            return self._resimulate_incremental(configs, changed_routers, started)
+
+    def _resimulate_incremental(
+        self,
+        configs: Dict[str, RouterConfig],
+        changed_routers: Iterable[str],
+        started: float,
+    ) -> ResimStats:
         old = self._sim
         new = BgpSimulation(configs)
         dirty = set(changed_routers)
@@ -1056,11 +1085,10 @@ class SimulationState:
         if new.run_worklist(live_dirty, removed) is None:
             return self.converge(configs)
         self._sim = new
-        _STATS["incremental_runs"] += 1
-        _STATS["incremental_evaluations"] += new.evaluations
-        _STATS["incremental_time_s"] += time.perf_counter() - started
-        _STATS["reused_entries"] += reused
-        _STATS["invalidated_entries"] += invalidated
+        _INCREMENTAL_CONVERGE.observe(time.perf_counter() - started)
+        _INCREMENTAL_EVALUATIONS.inc(new.evaluations)
+        _REUSED_ENTRIES.inc(reused)
+        _INVALIDATED_ENTRIES.inc(invalidated)
         self.last_stats = ResimStats(
             mode="incremental",
             dirty_routers=len(dirty),

@@ -40,6 +40,14 @@ parallel run (resumably) when no scenario completes for that long;
 copies, ``--no-decision-cache`` disables cached best-path decision
 tuples, and ``--ship config`` pickles parent-materialized networks to
 workers instead of shipping coordinates — all for A/B comparisons.
+``--trace out.json`` (``campaign`` and ``synthesize``) writes a
+Chrome trace-event file of every phase span (open in Perfetto or
+``chrome://tracing``); ``--profile`` appends a phase/slowest-scenario/
+cache-hit-rate breakdown to the campaign summary (works with
+``--report`` too).  ``status`` with no campaign id prints service
+health (uptime, version, per-worker metric summaries); ``status
+--json`` emits the raw JSON and ``status --metrics`` the service's
+Prometheus ``/metrics`` text.
 ``fuzz`` generates seeded random scenarios (``--fuzz-seed``,
 ``--iterations`` or a wall-clock ``--budget 300s``), runs each under
 every toggle combination (or a ``--pairs`` covering subset), asserts
@@ -119,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
             "(default) or degree (customers pinned to the lowest-degree "
             "routers)"
         ),
+    )
+    synthesize.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE",
+        help="write a Chrome trace-event JSON of the phase spans",
     )
 
     incremental = subparsers.add_parser(
@@ -279,6 +293,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE",
+        help=(
+            "write a Chrome trace-event JSON of every phase span "
+            "(serial and parallel runs; open in Perfetto)"
+        ),
+    )
+    campaign.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "append a phase breakdown, the slowest scenarios, and "
+            "cache hit rates to the summary (also works with --report)"
+        ),
+    )
+    campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
     )
 
@@ -352,13 +383,23 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show a service campaign's live progress"
     )
     status.add_argument("id", nargs="?", default=None,
-                        help="campaign id (omit to list all)")
+                        help="campaign id (omit for service health + list)")
     status.add_argument("--url", default="http://127.0.0.1:8642")
     status.add_argument(
         "--wait", action="store_true", help="poll until done or failed"
     )
     status.add_argument(
         "--wait-timeout", type=float, default=600.0, metavar="SECONDS"
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw JSON instead of rendered text",
+    )
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the service's Prometheus /metrics text and exit",
     )
 
     result = subparsers.add_parser(
@@ -522,7 +563,10 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     from .core import DEFAULT_IIP_IDS
     from .experiments import run_no_transit_experiment
+    from .obs import drain_events, set_tracing, write_trace
 
+    if args.trace:
+        set_tracing(True)
     try:
         experiment = run_no_transit_experiment(
             router_count=args.routers,
@@ -537,6 +581,12 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if args.trace:
+            write_trace(args.trace, drain_events())
+            set_tracing(False)
+    if args.trace:
+        print(f"wrote {args.trace}")
     print(experiment.result.prompt_log.summary())
     print(experiment.result.global_check.describe())
     if experiment.result.global_check.role_verdicts:
@@ -602,6 +652,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--resume", args.resume),
                 ("--journal", args.journal is not None),
                 ("--limit", args.limit is not None),
+                ("--trace", args.trace is not None),
                 ("--workers", args.workers != defaults.workers),
                 ("--no-incremental-sim", args.no_incremental_sim),
                 ("--iip-ablation", args.iip_ablation),
@@ -682,6 +733,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             resume=resume,
             limit=args.limit,
             timeout=args.timeout,
+            trace_path=args.trace,
         )
     except CampaignInterrupted as exc:
         # The pool died or stalled mid-grid.  Everything journaled so
@@ -707,6 +759,11 @@ def _emit_campaign_summary(
             print("  " + family_summary.render())
     else:
         print(summary.render())
+    if getattr(args, "profile", False):
+        print()
+        print(summary.render_profile())
+    if getattr(args, "trace", None):
+        print(f"wrote {args.trace}")
     if args.json and args.json != "-":
         path = summary.write_json(args.json)
         print(f"wrote {path}")
@@ -822,13 +879,45 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if status["state"] == "done" else 1
 
 
+def _render_service_health(health: dict) -> str:
+    lines = [
+        f"service v{health.get('version', '?')}: "
+        f"up {health.get('uptime_s', 0.0):.1f}s, "
+        f"{len(health.get('workers', []))} worker(s), "
+        f"{health.get('campaigns', 0)} campaign(s)"
+    ]
+    for worker in health.get("workers", []):
+        summary = worker.get("metrics") or {}
+        lines.append(
+            f"  worker {worker['slot']}: "
+            f"{'alive' if worker.get('alive') else 'dead'}, "
+            f"{worker.get('restarts', 0)} restart(s), "
+            f"{summary.get('scenarios', 0)} scenario(s) in "
+            f"{summary.get('scenario_time_s', 0.0):.2f}s, "
+            f"{summary.get('cache_hits', 0)} cache hit(s)"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
     from .service.client import ServiceClient, ServiceError
 
     client = ServiceClient(args.url)
     try:
+        if args.metrics:
+            print(client.metrics_text(), end="")
+            return 0
         if args.id is None:
+            health = client.health()
             campaigns = client.campaigns()["campaigns"]
+            if args.json:
+                print(json.dumps(
+                    {"health": health, "campaigns": campaigns}, indent=2
+                ))
+                return 0
+            print(_render_service_health(health))
             if not campaigns:
                 print("no campaigns")
                 return 0
@@ -842,13 +931,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
     except (ServiceError, OSError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(_render_campaign_status(status))
-    for unit in status["units"]:
-        print(
-            f"  unit {unit['unit']:3d}: {unit['state']:<8} "
-            f"{unit['done']}/{unit['size']} done, "
-            f"{unit['attempts']} attempt(s)"
-        )
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        print(_render_campaign_status(status))
+        for unit in status["units"]:
+            print(
+                f"  unit {unit['unit']:3d}: {unit['state']:<8} "
+                f"{unit['done']}/{unit['size']} done, "
+                f"{unit['attempts']} attempt(s)"
+            )
     return 1 if status["state"] == "failed" else 0
 
 

@@ -46,11 +46,19 @@ from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TextIO
 
-from ..batfish.bgpsim import sim_totals
 from ..core import DEFAULT_IIP_IDS
 from ..llm import BehaviorProfile
-from ..netmodel.route import route_totals
-from ..symbolic.memo import cache_totals
+from ..obs import (
+    counters_snapshot,
+    delta as metrics_delta,
+    drain_events,
+    gauge,
+    merge as metrics_merge,
+    set_tracing,
+    span,
+    tracing_enabled,
+    write_trace,
+)
 from ..topology.families import FAMILIES
 
 __all__ = [
@@ -81,10 +89,12 @@ __all__ = [
 # role/topo scenario axes (and their per-role verdict counts in each
 # result row); v4 adds the role-placement axis (``place``) to scenario
 # keys/rows and the route-datapath counters to each journal record;
-# v5 adds the full traceback (``trace``) to error rows.  Folding stays
-# bidirectionally tolerant: unknown row fields are dropped, missing
-# ones take their dataclass defaults.
-JOURNAL_VERSION = 5
+# v5 adds the full traceback (``trace``) to error rows; v6 adds each
+# record's flat metrics delta (``metrics`` — the repro.obs registry
+# series the scenario moved).  Folding stays bidirectionally tolerant:
+# unknown row fields are dropped, missing ones take their dataclass
+# defaults.
+JOURNAL_VERSION = 6
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -464,12 +474,18 @@ def run_scenario(scenario: Scenario, network=None) -> ScenarioResult:
 
 @dataclass(frozen=True)
 class CompletedScenario:
-    """One journal record: a result plus per-scenario cache accounting.
+    """One journal record: a result plus per-scenario metric accounting.
 
-    The cache and simulation numbers are operational (they depend on
-    what the worker process happened to have cached or converged
-    already), so they live here and in the journal — never in the
-    deterministic summary outputs.
+    ``metrics`` is the flat :mod:`repro.obs` registry delta the scenario
+    produced (cache traffic per cache, full/incremental convergences,
+    route-datapath counters, phase timers).  These numbers are
+    operational (they depend on what the worker process happened to
+    have cached or converged already), so they live here and in the
+    journal — never in the deterministic summary outputs.  The legacy
+    named fields are views over ``metrics`` kept for journal and
+    reporting compatibility.  ``spans`` carries the scenario's Chrome
+    trace events when tracing is on — live-run payload only, never
+    journaled.
     """
 
     key: str
@@ -482,45 +498,66 @@ class CompletedScenario:
     sim_incremental_evals: int = 0
     routes_built: int = 0
     routes_reused: int = 0
+    metrics: Dict[str, float] = field(default_factory=dict)
+    spans: List[dict] = field(default_factory=list)
+
+
+def _memo_totals(metrics: Dict[str, float]) -> Tuple[int, int]:
+    """Aggregate ``(hits, misses)`` over every ``memo.*`` series."""
+    hits = 0
+    misses = 0
+    for name, value in metrics.items():
+        if not name.startswith("memo."):
+            continue
+        if name.endswith(".hits"):
+            hits += int(value)
+        elif name.endswith(".misses"):
+            misses += int(value)
+    return hits, misses
+
+
+#: Scenarios currently executing in this process.  A level, not an
+#: event count: it must return to zero when the campaign is idle (the
+#: test suite's metrics-hygiene fixture enforces it).
+_INFLIGHT = gauge("campaign.inflight_scenarios")
 
 
 def execute_scenario(scenario: Scenario, network=None) -> CompletedScenario:
-    """Run one scenario; measure its symbolic-cache, BGP-simulation
-    (full vs incremental convergences against the worker's warm
-    per-topology simulation states), and route-datapath traffic
-    (builder freezes vs no-change reuses).
+    """Run one scenario; measure the registry delta it produced —
+    symbolic-cache traffic per cache, BGP-simulation accounting (full vs
+    incremental convergences against the worker's warm per-topology
+    simulation states), route-datapath traffic (builder freezes vs
+    no-change reuses), and per-phase wall-clock.
 
     ``network`` carries a parent-materialized network in config-shipping
     mode; coords mode leaves it ``None`` and regenerates in-worker."""
-    hits_before, misses_before = cache_totals()
-    sim_before = sim_totals()
-    routes_before = route_totals()
-    row = run_scenario(scenario, network)
-    hits_after, misses_after = cache_totals()
-    sim_after = sim_totals()
-    routes_after = route_totals()
+    before = counters_snapshot()
+    _INFLIGHT.inc()
+    try:
+        with span("scenario", key=scenario.key()):
+            row = run_scenario(scenario, network)
+    finally:
+        _INFLIGHT.dec()
+    metrics = metrics_delta(before, counters_snapshot())
+    spans = drain_events() if tracing_enabled() else []
+    cache_hits, cache_misses = _memo_totals(metrics)
     return CompletedScenario(
         key=scenario.key(),
         row=row,
-        cache_hits=hits_after - hits_before,
-        cache_misses=misses_after - misses_before,
-        sim_full_runs=int(sim_after["full_runs"] - sim_before["full_runs"]),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        sim_full_runs=int(metrics.get("sim.full_converge.count", 0)),
         sim_incremental_runs=int(
-            sim_after["incremental_runs"] - sim_before["incremental_runs"]
+            metrics.get("sim.incremental_converge.count", 0)
         ),
-        sim_full_evals=int(
-            sim_after["full_evaluations"] - sim_before["full_evaluations"]
-        ),
+        sim_full_evals=int(metrics.get("sim.full_evaluations", 0)),
         sim_incremental_evals=int(
-            sim_after["incremental_evaluations"]
-            - sim_before["incremental_evaluations"]
+            metrics.get("sim.incremental_evaluations", 0)
         ),
-        routes_built=int(
-            routes_after["routes_built"] - routes_before["routes_built"]
-        ),
-        routes_reused=int(
-            routes_after["routes_reused"] - routes_before["routes_reused"]
-        ),
+        routes_built=int(metrics.get("route.routes_built", 0)),
+        routes_reused=int(metrics.get("route.routes_reused", 0)),
+        metrics=metrics,
+        spans=spans,
     )
 
 
@@ -543,22 +580,24 @@ def _journal_header(grid: Sequence[Scenario]) -> str:
 
 
 def _journal_line(completed: CompletedScenario) -> str:
-    return json.dumps(
-        {
-            "kind": "result",
-            "key": completed.key,
-            "row": asdict(completed.row),
-            "cache_hits": completed.cache_hits,
-            "cache_misses": completed.cache_misses,
-            "sim_full_runs": completed.sim_full_runs,
-            "sim_incremental_runs": completed.sim_incremental_runs,
-            "sim_full_evals": completed.sim_full_evals,
-            "sim_incremental_evals": completed.sim_incremental_evals,
-            "routes_built": completed.routes_built,
-            "routes_reused": completed.routes_reused,
-        },
-        sort_keys=True,
-    )
+    record = {
+        "kind": "result",
+        "key": completed.key,
+        "row": asdict(completed.row),
+        "cache_hits": completed.cache_hits,
+        "cache_misses": completed.cache_misses,
+        "sim_full_runs": completed.sim_full_runs,
+        "sim_incremental_runs": completed.sim_incremental_runs,
+        "sim_full_evals": completed.sim_full_evals,
+        "sim_incremental_evals": completed.sim_incremental_evals,
+        "routes_built": completed.routes_built,
+        "routes_reused": completed.routes_reused,
+    }
+    if completed.metrics:
+        # The full registry delta (v6); trace spans are deliberately
+        # NOT journaled — they are live-run payload only.
+        record["metrics"] = completed.metrics
+    return json.dumps(record, sort_keys=True)
 
 
 def _append(handle: TextIO, line: str) -> None:
@@ -650,6 +689,17 @@ def _scan_journal(
             # Tolerate journals from other versions: older rows simply
             # lack newer defaulted fields (e.g. pre-v5 ``trace``), newer
             # rows may carry fields this build does not know.
+            raw_metrics = record.get("metrics")
+            metrics = (
+                {
+                    name: value
+                    for name, value in raw_metrics.items()
+                    if isinstance(name, str)
+                    and isinstance(value, (int, float))
+                }
+                if isinstance(raw_metrics, dict)
+                else {}
+            )
             try:
                 completed[key] = CompletedScenario(
                     key=key,
@@ -658,6 +708,7 @@ def _scan_journal(
                         for name, value in row_fields.items()
                         if name in known
                     }),
+                    metrics=metrics,
                     cache_hits=int(record.get("cache_hits") or 0),
                     cache_misses=int(record.get("cache_misses") or 0),
                     sim_full_runs=int(record.get("sim_full_runs") or 0),
@@ -702,6 +753,7 @@ def _summarize(
         duration_s=duration_s,
         total_scenarios=total,
         resumed=resumed,
+        metrics=metrics_merge({}, *(record.metrics for record in ordered)),
         cache_hits=sum(record.cache_hits for record in ordered),
         cache_misses=sum(record.cache_misses for record in ordered),
         sim_full_runs=sum(record.sim_full_runs for record in ordered),
@@ -854,6 +906,10 @@ class CampaignSummary:
     duration_s: float = 0.0
     total_scenarios: Optional[int] = None  # grid size; None -> len(rows)
     resumed: int = 0  # rows recovered from the journal, not re-run
+    # The merged registry delta over every row (per-cache memo traffic,
+    # phase timers, ...).  Render-only, like every counter below: never
+    # part of to_dict/write_json/write_csv.
+    metrics: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
     sim_full_runs: int = 0
@@ -1006,8 +1062,120 @@ class CampaignSummary:
                 f"  route datapath: {self.routes_built} route(s) built / "
                 f"{self.routes_reused} reused without copying"
             )
+        for name, hits, misses in self.cache_breakdown():
+            lookups = hits + misses
+            rate = 100 * hits / lookups if lookups else 0.0
+            lines.append(
+                f"    {name}: {hits} hits / {misses} misses "
+                f"({rate:.1f}% hit rate)"
+            )
         for summary in self.by_family():
             lines.append("  " + summary.render())
+        return "\n".join(lines)
+
+    def cache_breakdown(self) -> List[Tuple[str, int, int]]:
+        """Per-cache ``(name, hits, misses)`` from the merged metrics —
+        aggregated across every worker process, unlike the historical
+        parent-only ``cache_stats()`` view (worker caches were silently
+        lost).  Empty for pre-v6 journals, which carried only totals."""
+        caches: Dict[str, Dict[str, int]] = {}
+        for name, value in self.metrics.items():
+            if not name.startswith("memo."):
+                continue
+            if name.endswith(".hits"):
+                caches.setdefault(name[5:-5], {})["hits"] = int(value)
+            elif name.endswith(".misses"):
+                caches.setdefault(name[5:-7], {})["misses"] = int(value)
+        return [
+            (name, counts.get("hits", 0), counts.get("misses", 0))
+            for name, counts in sorted(caches.items())
+        ]
+
+    def phase_breakdown(self) -> List[Tuple[str, int, float, float]]:
+        """Per-phase ``(name, count, total_s, max_s)`` from the merged
+        span timers, slowest total first."""
+        phases: Dict[str, Tuple[int, float, float]] = {}
+        prefix = "phase."
+        for name in self.metrics:
+            if name.startswith(prefix) and name.endswith(".count"):
+                phase = name[len(prefix): -len(".count")]
+                phases[phase] = (
+                    int(self.metrics.get(f"{prefix}{phase}.count", 0)),
+                    float(self.metrics.get(f"{prefix}{phase}.total_s", 0.0)),
+                    float(self.metrics.get(f"{prefix}{phase}.max_s", 0.0)),
+                )
+        return sorted(
+            (
+                (phase, count, total_s, max_s)
+                for phase, (count, total_s, max_s) in phases.items()
+            ),
+            key=lambda entry: (-entry[2], entry[0]),
+        )
+
+    @staticmethod
+    def _row_key(row: ScenarioResult) -> str:
+        return (
+            f"{row.family}:{row.size}:{row.seed}:{row.profile}:"
+            f"{'iips' if row.iips else 'noiips'}:{row.roles}:{row.topo}:"
+            f"{row.place}"
+        )
+
+    def render_profile(self, top: int = 10) -> str:
+        """The ``--profile`` view: phase breakdown, slowest scenarios,
+        per-cache hit rates (all journal-sourced — works offline)."""
+        lines = [
+            f"campaign profile: {len(self.rows)} scenario(s), "
+            f"{sum(row.duration_s for row in self.rows):.2f}s scenario "
+            f"wall-clock"
+        ]
+        phases = self.phase_breakdown()
+        scenario_total = next(
+            (
+                total_s
+                for phase, _count, total_s, _max in phases
+                if phase == "scenario"
+            ),
+            0.0,
+        )
+        if phases:
+            lines.append("  phase breakdown:")
+            for phase, count, total_s, max_s in phases:
+                line = (
+                    f"    {phase:<14} {count:>6}x  {total_s:>9.3f}s total  "
+                    f"{max_s:>8.3f}s max"
+                )
+                if scenario_total > 0:
+                    line += (
+                        f"  ({100 * total_s / scenario_total:5.1f}% of "
+                        f"scenario time)"
+                    )
+                lines.append(line)
+        else:
+            lines.append(
+                "  phase breakdown: no phase metrics recorded "
+                "(pre-v6 journal?)"
+            )
+        slowest = sorted(
+            self.rows, key=lambda row: -row.duration_s
+        )[: max(0, top)]
+        if slowest:
+            lines.append(f"  slowest {len(slowest)} scenario(s):")
+            for row in slowest:
+                suffix = "  ERROR" if row.error is not None else ""
+                lines.append(
+                    f"    {row.duration_s:>8.3f}s  "
+                    f"{self._row_key(row)}{suffix}"
+                )
+        breakdown = self.cache_breakdown()
+        if breakdown:
+            lines.append("  cache hit rates:")
+            for name, hits, misses in breakdown:
+                lookups = hits + misses
+                rate = 100 * hits / lookups if lookups else 0.0
+                lines.append(
+                    f"    {name:<20} {hits:>8} hits / {misses:>8} misses  "
+                    f"({rate:5.1f}%)"
+                )
         return "\n".join(lines)
 
 
@@ -1076,7 +1244,9 @@ def _toggle_snapshot() -> Dict[str, object]:
     return toggles.snapshot()
 
 
-def _init_worker(toggle_values: Dict[str, object]) -> None:
+def _init_worker(
+    toggle_values: Dict[str, object], tracing: bool = False
+) -> None:
     """Propagate the parent's optimization toggles into a pool worker.
 
     Module globals do not survive the spawn/forkserver start methods,
@@ -1084,11 +1254,14 @@ def _init_worker(toggle_values: Dict[str, object]) -> None:
     — every registered toggle, so a toggle added to the registry is
     propagated automatically.  (The previous hand-picked argument list
     silently dropped ``batched_evaluation``: workers of a
-    ``--no-batch`` campaign ran with batching enabled.)
+    ``--no-batch`` campaign ran with batching enabled.)  ``tracing``
+    mirrors the parent's trace-capture flag so worker spans come home
+    in each :class:`CompletedScenario`.
     """
     from ..core import toggles
 
     toggles.apply(toggle_values)
+    set_tracing(tracing)
 
 
 def run_campaign(
@@ -1098,6 +1271,7 @@ def run_campaign(
     resume: bool = False,
     limit: Optional[int] = None,
     timeout: Optional[float] = None,
+    trace_path: "Path | str | None" = None,
 ) -> CampaignSummary:
     """Run every scenario, serially or over a process pool.
 
@@ -1119,6 +1293,11 @@ def run_campaign(
     :class:`CampaignStalled` (and is killed) instead of stalling the
     grid forever.  The serial path runs scenarios inline and cannot
     preempt them, so ``timeout`` only applies with ``workers > 1``.
+
+    ``trace_path`` enables span tracing for the run (parent *and*
+    workers) and writes one merged Chrome trace-event JSON file there —
+    load it in Perfetto or chrome://tracing.  Only scenarios executed
+    by *this* run appear (resumed rows carry no span payload).
     """
     grid = list(scenarios)
     keys = [scenario.key() for scenario in grid]
@@ -1151,6 +1330,12 @@ def run_campaign(
     if limit is not None:
         pending = pending[: max(0, limit)]
 
+    tracing = trace_path is not None
+    was_tracing = tracing_enabled()
+    trace_events: List[dict] = []
+    if tracing:
+        set_tracing(True)
+
     handle: Optional[TextIO] = None
     if journal is not None:
         appending = resume and journal_exists
@@ -1175,13 +1360,14 @@ def run_campaign(
                 )
                 record = execute_scenario(scenario, network)
                 completed[record.key] = record
+                trace_events.extend(record.spans)
                 if handle is not None:
                     _append(handle, _journal_line(record))
         else:
             executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(_toggle_snapshot(),),
+                initargs=(_toggle_snapshot(), tracing),
             )
             abandoned = False
             try:
@@ -1216,6 +1402,7 @@ def run_campaign(
                         # crash) surfaces here as BrokenProcessPool.
                         record = future.result()
                         completed[record.key] = record
+                        trace_events.extend(record.spans)
                         if handle is not None:
                             _append(handle, _journal_line(record))
             except BrokenProcessPool as exc:
@@ -1240,6 +1427,13 @@ def run_campaign(
     finally:
         if handle is not None:
             handle.close()
+        if tracing:
+            # Parent-side spans (config-shipping generation etc.) join
+            # the worker payloads; one merged trace survives even an
+            # interrupted campaign.
+            trace_events.extend(drain_events())
+            set_tracing(was_tracing)
+            write_trace(str(trace_path), trace_events)
 
     if journal is not None:
         # The journal, not in-process state, is the source of truth.

@@ -23,6 +23,7 @@ from ..llm import (
     make_synthesis_models,
     synthesis_fault_catalog,
 )
+from ..obs import span
 from ..topology import StarNetwork, generate_network, generate_star_network
 
 __all__ = [
@@ -158,35 +159,36 @@ def run_no_transit_experiment(
     result for the same coordinates) to skip generation — the campaign's
     config-shipping mode uses this to run on a parent-built network.
     """
-    star = (
-        materialize_network(
-            family,
-            router_count,
-            roles=roles,
-            topo=topo,
-            topology_seed=topology_seed,
-            place=place,
+    if network is None:
+        with span("generate", family=family, size=router_count):
+            star = materialize_network(
+                family,
+                router_count,
+                roles=roles,
+                topo=topo,
+                topology_seed=topology_seed,
+                place=place,
+            )
+    else:
+        star = network
+    with span("synthesize", family=family, size=router_count):
+        models = make_synthesis_models(
+            star.topology,
+            iip_ids=iip_ids,
+            seed=seed,
+            profile=profile,
+            assignment=assignment,
         )
-        if network is None
-        else network
-    )
-    models = make_synthesis_models(
-        star.topology,
-        iip_ids=iip_ids,
-        seed=seed,
-        profile=profile,
-        assignment=assignment,
-    )
-    human = ScriptedHuman(synthesis_fault_catalog(star.topology))
-    orchestrator = SynthesisOrchestrator(
-        star.topology,
-        models,
-        human=human,
-        limits=limits,
-        iip_ids=iip_ids,
-        pair_programming=pair_programming,
-    )
-    result = orchestrator.run()
+        human = ScriptedHuman(synthesis_fault_catalog(star.topology))
+        orchestrator = SynthesisOrchestrator(
+            star.topology,
+            models,
+            human=human,
+            limits=limits,
+            iip_ids=iip_ids,
+            pair_programming=pair_programming,
+        )
+        result = orchestrator.run()
     return NoTransitExperiment(
         result=result,
         models=models,

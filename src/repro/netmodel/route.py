@@ -36,6 +36,7 @@ from __future__ import annotations
 import enum
 from typing import FrozenSet, Iterable, Optional
 
+from ..obs import counter
 from .aspath import AsPath, EMPTY_AS_PATH
 from .communities import Community, EMPTY_COMMUNITIES, intern_communities
 from .ip import Ipv4Address, Prefix
@@ -43,6 +44,8 @@ from .ip import Ipv4Address, Prefix
 __all__ = [
     "Origin",
     "Protocol",
+    "ROUTES_BUILT",
+    "ROUTES_REUSED",
     "Route",
     "reset_route_stats",
     "route_model",
@@ -81,12 +84,11 @@ DEFAULT_LOCAL_PREF = 100
 
 _ROUTE_MODEL = "v2"
 
-_STATS = {
-    "routes_built": 0,  # Route allocations through RouteBuilder.freeze
-    # Routes reused instead of rebuilt: no-change freeze() calls plus
-    # bgpsim's per-session candidate reuses across fixpoint rounds.
-    "routes_reused": 0,
-}
+#: Route allocations through RouteBuilder.freeze.
+ROUTES_BUILT = counter("route.routes_built")
+#: Routes reused instead of rebuilt: no-change freeze() calls plus
+#: bgpsim's per-session candidate reuses across fixpoint rounds.
+ROUTES_REUSED = counter("route.routes_reused")
 
 
 def set_route_model(model: str) -> None:
@@ -114,14 +116,17 @@ def route_model_is_v2() -> bool:
 
 
 def reset_route_stats() -> None:
-    for key in _STATS:
-        _STATS[key] = 0
+    ROUTES_BUILT.reset()
+    ROUTES_REUSED.reset()
 
 
 def route_totals() -> dict:
     """Process-wide route-datapath accounting (builder freezes vs
     no-change reuses) for campaign/bench reporting."""
-    return dict(_STATS)
+    return {
+        "routes_built": ROUTES_BUILT.value,
+        "routes_reused": ROUTES_REUSED.value,
+    }
 
 
 # -- the value type ------------------------------------------------------------

@@ -25,7 +25,7 @@ from typing import FrozenSet, Iterable, List, Optional, Set
 from .aspath import AsPath
 from .communities import Community, intern_communities
 from .ip import Ipv4Address
-from .route import Origin, Protocol, Route, _STATS
+from .route import ROUTES_BUILT, ROUTES_REUSED, Origin, Protocol, Route
 
 __all__ = ["RouteBuilder", "export_route"]
 
@@ -39,7 +39,7 @@ def export_route(route: Route, asn: int, next_hop: Ipv4Address) -> Route:
     so the simulator skips the builder entirely and constructs the
     interned result directly.
     """
-    _STATS["routes_built"] += 1
+    ROUTES_BUILT.inc()
     return Route._from_canonical(
         route.prefix,
         AsPath.of((asn,) + route.as_path.asns),
@@ -187,9 +187,9 @@ class RouteBuilder:
         unchanged — zero allocations.
         """
         if not self._dirty:
-            _STATS["routes_reused"] += 1
+            ROUTES_REUSED.inc()
             return self._base
-        _STATS["routes_built"] += 1
+        ROUTES_BUILT.inc()
         return Route._from_canonical(
             self._base.prefix,
             self.as_path,

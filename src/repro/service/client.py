@@ -62,6 +62,19 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 
+    def metrics_text(self) -> str:
+        """The raw Prometheus text of ``GET /metrics``."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, exc.reason) from None
+
     def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
         return self._request("POST", "/campaigns", body=spec)
 

@@ -2,7 +2,11 @@
 
 Routes::
 
-    GET  /healthz                 service liveness + worker slots (pids)
+    GET  /healthz                 service liveness, uptime, version, and
+                                  per-worker heartbeat/metric summaries
+    GET  /metrics                 Prometheus text exposition (worker
+                                  liveness/queue gauges + the campaigns'
+                                  exactly-once folded registry counters)
     GET  /campaigns               every campaign's status
     POST /campaigns               submit a CampaignSpec body -> {"id": ...}
     GET  /campaigns/<id>          one campaign's live status
@@ -28,7 +32,7 @@ from typing import Any, Dict, Optional, Tuple
 from .scheduler import CampaignService
 from .spec import CampaignSpec
 
-__all__ = ["HttpApi", "serve"]
+__all__ = ["HttpApi", "PlainText", "serve"]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -40,6 +44,16 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
 }
+
+
+class PlainText:
+    """A non-JSON response body (``GET /metrics`` Prometheus text)."""
+
+    def __init__(
+        self, body: str, content_type: str = "text/plain; version=0.0.4"
+    ) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class HttpApi:
@@ -77,11 +91,16 @@ class HttpApi:
             except Exception as exc:  # a handler bug must not kill serve
                 _LOGGER.exception("unhandled error for %s %s", method, path)
                 status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+            if isinstance(payload, PlainText):
+                content_type = payload.content_type
+                data = payload.body.encode("utf-8")
+            else:
+                content_type = "application/json"
+                data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
             writer.write(
                 (
                     f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                    f"Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
                     f"Connection: close\r\n\r\n"
                 ).encode("latin-1")
@@ -101,14 +120,12 @@ class HttpApi:
 
     def route(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> "Tuple[int, Dict[str, Any] | PlainText]":
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
-            return 200, {
-                "ok": True,
-                "campaigns": len(self.service.campaign_ids()),
-                "workers": self.service.workers_status(),
-            }
+            return 200, self.service.service_health()
+        if path == "/metrics" and method == "GET":
+            return 200, PlainText(self.service.prometheus_text())
         if path == "/shutdown" and method == "POST":
             self.service.request_stop()
             return 202, {"ok": True, "stopping": True}

@@ -13,7 +13,7 @@ Everything durable lives in the state directory::
 
     <state_dir>/<campaign id>/spec.json        submission + materialized grid
     <state_dir>/<campaign id>/manifest.jsonl   header-only journal (grid keys)
-    <state_dir>/<campaign id>/shard-NN.jsonl   one v5 journal per worker slot
+    <state_dir>/<campaign id>/shard-NN.jsonl   one v6 journal per worker slot
 
 Workers append finished scenarios to their shard before reporting
 them, so the scheduler's in-memory progress is always a lower bound on
@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..experiments.campaign import (
     CampaignSummary,
+    CompletedScenario,
     Scenario,
     _append,
     _journal_header,
@@ -45,6 +46,8 @@ from ..experiments.campaign import (
     _scan_journal,
     summary_from_journals,
 )
+from ..obs import merge as metrics_merge
+from ..obs import render_prometheus, sanitize_metric_name
 from .spec import CampaignSpec, shard_scenarios, spec_fingerprint
 from .worker import worker_main
 
@@ -54,6 +57,28 @@ _LOGGER = logging.getLogger(__name__)
 
 SPEC_FILENAME = "spec.json"
 MANIFEST_FILENAME = "manifest.jsonl"
+
+
+def _metric_summary(metrics: Dict[str, float]) -> Dict[str, Any]:
+    """A compact per-worker digest of a cumulative registry snapshot,
+    small enough to inline in ``/healthz`` and ``repro status``."""
+    cache_hits = 0
+    cache_misses = 0
+    for name, value in metrics.items():
+        if name.startswith("memo."):
+            if name.endswith(".hits"):
+                cache_hits += int(value)
+            elif name.endswith(".misses"):
+                cache_misses += int(value)
+    return {
+        "scenarios": int(metrics.get("phase.scenario.count", 0)),
+        "scenario_time_s": round(
+            float(metrics.get("phase.scenario.total_s", 0.0)), 3
+        ),
+        "routes_built": int(metrics.get("route.routes_built", 0)),
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+    }
 
 
 @dataclass
@@ -89,6 +114,11 @@ class CampaignState:
     resumed: int = 0  # keys recovered from shard journals at (re)load
     retries: int = 0  # resubmissions after worker death or stall
     error_keys: Set[str] = field(default_factory=set)
+    # The campaign's merged registry delta: one per-scenario delta folded
+    # per *distinct* key (rows are deduplicated against done_keys before
+    # merging, so a unit resubmitted after a worker death cannot
+    # double-count a scenario; journal-recovered rows fold in at load).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -140,6 +170,22 @@ class _Slot:
         self.unit: Optional[Tuple[str, int]] = None  # (campaign id, unit idx)
         self.last_seen: float = 0.0
         self.generation: int = 0  # respawn count, for status/debugging
+        # Latest cumulative registry snapshot this incarnation shipped on
+        # a heartbeat (merged into the service's retired pool on respawn).
+        self.metrics: Dict[str, float] = {}
+
+    @property
+    def heartbeat_age_s(self) -> float:
+        return max(0.0, time.monotonic() - self.last_seen)
+
+    @property
+    def queue_depth(self) -> int:
+        if self.tasks is None:
+            return 0
+        try:
+            return self.tasks.qsize()
+        except (NotImplementedError, OSError):
+            return 0
 
     @property
     def alive(self) -> bool:
@@ -174,6 +220,9 @@ class CampaignService:
         self._ctx = multiprocessing.get_context("spawn")
         self._results = self._ctx.Queue()
         self._slots = [_Slot(index) for index in range(workers)]
+        # Cumulative snapshots of dead worker incarnations, so respawns
+        # never lose metric history (heartbeat-sourced, best-effort).
+        self._retired_metrics: Dict[str, float] = {}
         self._campaigns: Dict[str, CampaignState] = {}
         self._stop_event: Optional[asyncio.Event] = None
         self._running = False
@@ -304,13 +353,109 @@ class CampaignService:
                 "pid": slot.process.pid if slot.process is not None else None,
                 "alive": slot.alive,
                 "generation": slot.generation,
+                "restarts": max(0, slot.generation - 1),
+                "heartbeat_age_s": round(slot.heartbeat_age_s, 3),
+                "queue_depth": slot.queue_depth,
                 "unit": (
                     f"{slot.unit[0]}:{slot.unit[1]}"
                     if slot.unit is not None else None
                 ),
+                "metrics": _metric_summary(slot.metrics),
             }
             for slot in self._slots
         ]
+
+    def service_health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: liveness, uptime, version, per-worker
+        heartbeat ages and metric summaries."""
+        from .. import __version__
+
+        return {
+            "ok": True,
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "campaigns": len(self.campaign_ids()),
+            "workers": self.workers_status(),
+        }
+
+    def campaign_metrics(self) -> Dict[str, float]:
+        """Every campaign's merged per-scenario registry deltas — each
+        journaled scenario counted exactly once, so for settled campaigns
+        these equal the journal-folded totals."""
+        return metrics_merge(
+            {}, *(state.metrics for state in self._campaigns.values())
+        )
+
+    def worker_metrics(self) -> Dict[str, float]:
+        """Cumulative registry series across every worker incarnation,
+        dead or alive (heartbeat-sourced; includes warmup/in-flight work
+        the per-campaign view excludes)."""
+        merged = dict(self._retired_metrics)
+        return metrics_merge(merged, *(slot.metrics for slot in self._slots))
+
+    def metrics_samples(self) -> List[Tuple[str, Optional[Dict[str, str]], float, str]]:
+        """Everything ``GET /metrics`` exposes, as Prometheus samples."""
+        now = time.monotonic()
+        uptime_s = max(now - self.started_at, 1e-9)
+        completed = sum(
+            state.completed for state in self._campaigns.values()
+        )
+        errors = sum(
+            len(state.error_keys) for state in self._campaigns.values()
+        )
+        inflight = sum(1 for slot in self._slots if slot.unit is not None)
+        pending_units = sum(
+            1
+            for state in self._campaigns.values()
+            for unit in state.units
+            if unit.state == "pending"
+        )
+        retries = sum(state.retries for state in self._campaigns.values())
+        samples: List[Tuple[str, Optional[Dict[str, str]], float, str]] = [
+            ("repro_service_uptime_seconds", None, uptime_s, "gauge"),
+            ("repro_service_workers", None, len(self._slots), "gauge"),
+            ("repro_service_campaigns", None, len(self._campaigns), "gauge"),
+            ("repro_service_inflight_units", None, inflight, "gauge"),
+            ("repro_service_pending_units", None, pending_units, "gauge"),
+            ("repro_scenarios_completed_total", None, completed, "counter"),
+            ("repro_scenario_errors_total", None, errors, "counter"),
+            ("repro_unit_retries_total", None, retries, "counter"),
+            (
+                "repro_scenarios_per_second",
+                None,
+                completed / uptime_s,
+                "gauge",
+            ),
+        ]
+        for slot in self._slots:
+            labels = {"slot": str(slot.index)}
+            samples.extend(
+                [
+                    ("repro_worker_alive", labels, 1 if slot.alive else 0,
+                     "gauge"),
+                    ("repro_worker_heartbeat_age_seconds", labels,
+                     slot.heartbeat_age_s, "gauge"),
+                    ("repro_worker_restarts_total", labels,
+                     max(0, slot.generation - 1), "counter"),
+                    ("repro_worker_queue_depth", labels, slot.queue_depth,
+                     "gauge"),
+                    ("repro_worker_inflight_units", labels,
+                     1 if slot.unit is not None else 0, "gauge"),
+                ]
+            )
+        # The campaign-folded registry series (exactly-once per scenario:
+        # these match what `campaign --report <dir>` folds from journals).
+        folded = self.campaign_metrics()
+        for name in sorted(folded):
+            kind = "gauge" if name.endswith(".max_s") else "counter"
+            samples.append(
+                (f"repro_{sanitize_metric_name(name)}", None, folded[name],
+                 kind)
+            )
+        return samples
+
+    def prometheus_text(self) -> str:
+        return render_prometheus(self.metrics_samples())
 
     def journals(self, campaign_id: str) -> List[Path]:
         """Manifest + existing shard journals, manifest first (the
@@ -359,15 +504,18 @@ class CampaignService:
                 )
                 continue
             key_set = {scenario.key() for scenario in grid}
-            done: Set[str] = set()
-            errors: Set[str] = set()
+            folded: Dict[str, CompletedScenario] = {}
             for shard in sorted(directory.glob("shard-*.jsonl")):
                 records, _ = _scan_journal(shard, key_set)
-                done.update(records)
-                errors.update(
-                    key for key, record in records.items()
-                    if record.row.error is not None
-                )
+                folded.update(records)
+            done: Set[str] = set(folded)
+            errors: Set[str] = {
+                key for key, record in folded.items()
+                if record.row.error is not None
+            }
+            recovered_metrics: Dict[str, float] = metrics_merge(
+                {}, *(record.metrics for record in folded.values())
+            )
             units = []
             for index, slice_ in enumerate(shard_scenarios(grid, shard_size)):
                 unit = WorkUnit(index=index, scenarios=slice_)
@@ -386,6 +534,7 @@ class CampaignService:
                 units=units,
                 resumed=len(done),
                 error_keys=errors,
+                metrics=recovered_metrics,
             )
             pending = sum(1 for unit in units if unit.state == "pending")
             _LOGGER.info(
@@ -399,6 +548,11 @@ class CampaignService:
         hold a partially-consumed item from the dead incarnation, so it
         is abandoned wholesale — the in-flight unit is re-dispatched
         explicitly by the caller."""
+        if slot.metrics:
+            # Keep the dead incarnation's cumulative history before the
+            # fresh process starts its series from zero.
+            metrics_merge(self._retired_metrics, slot.metrics)
+            slot.metrics = {}
         slot.tasks = self._ctx.Queue()
         slot.process = self._ctx.Process(
             target=worker_main,
@@ -434,12 +588,25 @@ class CampaignService:
             kind, slot_index = message[0], message[1]
             if 0 <= slot_index < len(self._slots):
                 self._slots[slot_index].last_seen = time.monotonic()
-            if kind == "row":
-                _, _, campaign_id, unit_index, key, has_error = message
+            if kind == "hb":
+                if len(message) > 2 and isinstance(message[2], dict):
+                    if 0 <= slot_index < len(self._slots):
+                        self._slots[slot_index].metrics = message[2]
+            elif kind == "row":
+                _, _, campaign_id, unit_index, key, has_error = message[:6]
+                row_metrics = message[6] if len(message) > 6 else None
                 state = self._campaigns.get(campaign_id)
                 if state is None or not 0 <= unit_index < len(state.units):
                     continue
-                state.units[unit_index].done_keys.add(key)
+                unit = state.units[unit_index]
+                if key not in unit.done_keys:
+                    # First sighting of this key: fold its delta.  A row
+                    # journaled by a worker that died before reporting it
+                    # re-executes on resubmit and lands here exactly once
+                    # — set semantics keep the count honest either way.
+                    unit.done_keys.add(key)
+                    if isinstance(row_metrics, dict):
+                        metrics_merge(state.metrics, row_metrics)
                 if has_error:
                     state.error_keys.add(key)
             elif kind == "unit":

@@ -36,18 +36,27 @@ __all__ = ["worker_main"]
 # Message kinds posted on the shared result queue.  Tuples, not
 # dataclasses: they must unpickle in the parent without importing this
 # module's class definitions mid-drain.
-#   ("hb", slot)                         liveness heartbeat
+#   ("hb", slot, metrics)                liveness heartbeat + the worker's
+#                                        cumulative registry snapshot
 #   ("started", slot, campaign, unit)    unit accepted, now running
-#   ("row", slot, campaign, unit, key, has_error)
+#   ("row", slot, campaign, unit, key, has_error, metrics)
+#                                        one scenario journaled; metrics is
+#                                        its registry delta
 #   ("unit", slot, campaign, unit)       unit finished (all rows journaled)
 #   ("bye", slot)                        clean shutdown acknowledgement
 
 
 def _heartbeat_loop(result_queue, slot: int, interval_s: float,
                     stop: threading.Event) -> None:
+    from ..obs import counters_snapshot
+
     while not stop.wait(interval_s):
         try:
-            result_queue.put(("hb", slot))
+            # The cumulative snapshot rides on every heartbeat: the
+            # scheduler keeps the latest per slot for /healthz worker
+            # summaries (and folds it into a retired-metrics pool when
+            # the incarnation dies, so restarts lose nothing).
+            result_queue.put(("hb", slot, counters_snapshot()))
         except Exception:
             return  # parent gone; the process is about to be reaped
 
@@ -109,7 +118,7 @@ def worker_main(
                     _append(handle, _journal_line(record))
                     result_queue.put(
                         ("row", slot, campaign, unit, key,
-                         record.row.error is not None)
+                         record.row.error is not None, record.metrics)
                     )
             finally:
                 handle.close()

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Tuple
 
+from ..obs import counter
+
 __all__ = [
     "MemoCache",
     "cache_stats",
@@ -50,20 +52,34 @@ class MemoCache:
     def __init__(self, name: str, max_entries: int = 4096) -> None:
         self.name = name
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
+        # Hit/miss accounting lives in the process-wide metrics registry
+        # under ``memo.<name>.*`` so campaign workers ship it home with
+        # every other counter.  A new instance starts its series at zero
+        # (tests recreate same-named caches; stale values would lie).
+        self._hits = counter(f"memo.{name}.hits")
+        self._misses = counter(f"memo.{name}.misses")
+        self._hits.reset()
+        self._misses.reset()
         self._entries: Dict[Hashable, Any] = {}
         _REGISTRY.append(self)
 
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
     def lookup(self, key: Hashable) -> Tuple[bool, Any]:
         if not _ENABLED:
-            self.misses += 1
+            self._misses.inc()
             return False, None
         value = self._entries.get(key, _MISS)
         if value is _MISS:
-            self.misses += 1
+            self._misses.inc()
             return False, None
-        self.hits += 1
+        self._hits.inc()
         return True, value
 
     def store(self, key: Hashable, value: Any) -> None:
@@ -75,8 +91,8 @@ class MemoCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -112,7 +128,12 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
 
 
 def cache_totals() -> Tuple[int, int]:
-    """Aggregate ``(hits, misses)`` across every registered cache."""
-    hits = sum(cache.hits for cache in _REGISTRY)
-    misses = sum(cache.misses for cache in _REGISTRY)
+    """Aggregate ``(hits, misses)`` across every registered cache.
+
+    Same-named caches share one registry counter pair, so totals sum
+    over distinct names (summing instances would double-count).
+    """
+    by_name = {cache.name: cache for cache in _REGISTRY}
+    hits = sum(cache.hits for cache in by_name.values())
+    misses = sum(cache.misses for cache in by_name.values())
     return hits, misses

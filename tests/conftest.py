@@ -38,6 +38,35 @@ def _toggle_hygiene():
     assert not planted, f"test left planted bugs enabled: {planted}"
 
 
+@pytest.fixture(autouse=True)
+def _metrics_hygiene():
+    """Fail any test that leaks nonzero gauges, open spans, or leaves
+    tracing enabled; zero the metrics registry either way.
+
+    Counters and timers accumulate freely during a test (that is their
+    job), but a gauge that doesn't return to zero means paired
+    inc/dec calls went unbalanced, an open span means a context manager
+    leaked, and enabled tracing buffers events forever.  Resetting the
+    registry after every test keeps each test's deltas self-contained.
+    """
+    from repro import obs
+
+    yield
+    dirty_gauges = [
+        (g.name, g.value) for g in obs.REGISTRY.gauges() if g.value
+    ]
+    open_spans = obs.open_spans()
+    traced = obs.tracing_enabled()
+    obs.set_tracing(False)
+    obs.drain_events()
+    obs.reset_metrics()
+    assert not dirty_gauges, (
+        f"test left nonzero gauges: {dirty_gauges}"
+    )
+    assert not open_spans, f"test left {open_spans} span(s) open"
+    assert not traced, "test left phase tracing enabled"
+
+
 @pytest.fixture(scope="session")
 def source_config():
     """The bundled Cisco config of the translation use case."""

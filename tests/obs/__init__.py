@@ -1,0 +1,1 @@
+"""Test package (keeps duplicate basenames importable)."""

@@ -1,0 +1,178 @@
+"""Service observability: /metrics, /healthz, and exactly-once folding.
+
+The load-bearing invariant: the service's ``/metrics`` campaign
+counters are folded from per-scenario row deltas *exactly once per
+scenario key* — so after any amount of worker chaos (SIGKILL mid-shard,
+unit resubmission, re-executed scenarios) they equal the totals an
+offline fold of the shard journals produces.
+"""
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.campaign import build_grid, summary_from_journals
+from repro.obs import sanitize_metric_name
+
+from .test_service_e2e import _RunningService
+
+GRID_ARGS = dict(families=["chain", "star"], sizes=[4], seeds=2)
+SPEC = {"families": ["chain", "star"], "sizes": [4], "seeds": 2}
+
+
+def _grid():
+    return build_grid(**GRID_ARGS)
+
+
+def _parse_prometheus(text):
+    """``{sample-line-prefix: value}`` for every non-comment line."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+class TestMetricsEndpoint:
+    def test_metrics_render_and_match_journal_fold(self, tmp_path):
+        state_dir = tmp_path / "state"
+        with _RunningService(state_dir) as running:
+            accepted = running.client.submit(dict(SPEC, shard_size=2))
+            running.client.wait(accepted["id"], timeout_s=120)
+            text = running.client.metrics_text()
+            samples = _parse_prometheus(text)
+            assert "# TYPE repro_service_uptime_seconds gauge" in text
+            assert samples["repro_scenarios_completed_total"] == len(_grid())
+            assert samples["repro_scenario_errors_total"] == 0
+            assert samples['repro_worker_alive{slot="0"}'] == 1
+            # Every folded campaign counter equals an offline fold of
+            # the shard journals (the acceptance criterion of the
+            # issue); spot timing series with approx.
+            offline = summary_from_journals(
+                [str(state_dir / accepted["id"])]
+            )
+            assert offline.metrics["phase.scenario.count"] == len(_grid())
+            for name, value in offline.metrics.items():
+                exposed = f"repro_{sanitize_metric_name(name)}"
+                assert samples[exposed] == pytest.approx(value)
+
+    def test_chaos_killed_worker_counts_each_scenario_exactly_once(
+        self, tmp_path
+    ):
+        """SIGKILL a worker mid-shard: the re-executed unit must not
+        double-fold any scenario's delta into the campaign counters."""
+        victim = _grid()[3].key()
+        state_dir = tmp_path / "state"
+        with _RunningService(state_dir) as running:
+            accepted = running.client.submit(
+                dict(SPEC, shard_size=2, chaos_kill_key=victim)
+            )
+            status = running.client.wait(accepted["id"], timeout_s=120)
+            assert status["state"] == "done"
+            assert status["retries"] >= 1
+            samples = _parse_prometheus(running.client.metrics_text())
+            assert samples["repro_scenarios_completed_total"] == len(_grid())
+            assert samples["repro_unit_retries_total"] >= 1
+            offline = summary_from_journals(
+                [str(state_dir / accepted["id"])]
+            )
+            assert offline.metrics["phase.scenario.count"] == len(_grid())
+            assert (
+                samples["repro_phase_scenario_count"]
+                == offline.metrics["phase.scenario.count"]
+            )
+            assert (
+                samples["repro_phase_synthesize_count"]
+                == offline.metrics["phase.synthesize.count"]
+            )
+
+    def test_restarted_service_recovers_metrics_from_journals(
+        self, tmp_path
+    ):
+        """A fresh service over the same state dir refolds campaign
+        metrics from the shard journals, not from zero."""
+        state_dir = tmp_path / "state"
+        with _RunningService(state_dir) as running:
+            accepted = running.client.submit(dict(SPEC, shard_size=2))
+            running.client.wait(accepted["id"], timeout_s=120)
+        with _RunningService(state_dir) as running:
+            samples = _parse_prometheus(running.client.metrics_text())
+            assert samples["repro_phase_scenario_count"] == len(_grid())
+
+
+class TestHealthz:
+    def test_healthz_carries_uptime_version_and_worker_summaries(
+        self, tmp_path
+    ):
+        from repro import __version__
+
+        with _RunningService(tmp_path / "state") as running:
+            accepted = running.client.submit(dict(SPEC, shard_size=2))
+            running.client.wait(accepted["id"], timeout_s=120)
+            health = running.client.health()
+            assert health["ok"]
+            assert health["version"] == __version__
+            assert health["uptime_s"] > 0
+            assert health["campaigns"] == 1
+            workers = health["workers"]
+            assert len(workers) == 2
+            for worker in workers:
+                assert worker["alive"]
+                assert worker["restarts"] == 0
+                assert "heartbeat_age_s" in worker
+                summary = worker["metrics"]
+                assert set(summary) >= {
+                    "scenarios", "scenario_time_s", "routes_built",
+                    "cache_hits", "cache_misses",
+                }
+            # Heartbeats ship cumulative worker snapshots every 0.5s,
+            # so poll briefly until the final post-unit beat lands.
+            deadline = time.monotonic() + 15
+            while True:
+                workers = running.client.health()["workers"]
+                total = sum(w["metrics"]["scenarios"] for w in workers)
+                if total == len(_grid()) or time.monotonic() > deadline:
+                    break
+                time.sleep(0.2)
+            assert total == len(_grid())
+
+
+class TestStatusCli:
+    def test_status_renders_service_health(self, tmp_path, capsys):
+        with _RunningService(tmp_path / "state") as running:
+            code = main(["status", "--url", running.url])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "service v" in out
+            assert "worker 0:" in out and "worker 1:" in out
+            assert "no campaigns" in out
+
+    def test_status_json_mode(self, tmp_path, capsys):
+        import json
+
+        with _RunningService(tmp_path / "state") as running:
+            accepted = running.client.submit(dict(SPEC, shard_size=2))
+            running.client.wait(accepted["id"], timeout_s=120)
+            code = main(["status", "--url", running.url, "--json"])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["health"]["ok"]
+            assert len(payload["campaigns"]) == 1
+            code = main([
+                "status", accepted["id"], "--url", running.url, "--json",
+            ])
+            assert code == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["state"] == "done"
+            assert status["completed"] == len(_grid())
+
+    def test_status_metrics_mode(self, tmp_path, capsys):
+        with _RunningService(tmp_path / "state") as running:
+            code = main(["status", "--url", running.url, "--metrics"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "# TYPE repro_service_uptime_seconds gauge" in out
+            assert "repro_service_workers 2" in out
