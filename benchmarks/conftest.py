@@ -6,7 +6,6 @@ Experiment benches run a full VPP loop per round; they use a small fixed
 round count to keep the harness fast.
 """
 
-import pytest
 
 EXPERIMENT_ROUNDS = 3
 

@@ -1,0 +1,33 @@
+"""Static analysis of routing policy, grounded in the simulator.
+
+``repro lint`` front-end, campaign ``--lint`` axis, and fuzz-harness
+cross-checks all build on :func:`analyze_configs`; the precision/recall
+story lives in :mod:`repro.analysis.validation`.
+"""
+
+from .analyzer import PolicyAnalyzer, RULES, analyze_configs, analyze_text
+from .findings import Finding, LintReport, Severity
+from .validation import (
+    CELLS,
+    EXPECTED_RULES,
+    FaultOutcome,
+    ValidationReport,
+    run_validation,
+    validate_cell,
+)
+
+__all__ = [
+    "CELLS",
+    "EXPECTED_RULES",
+    "FaultOutcome",
+    "Finding",
+    "LintReport",
+    "PolicyAnalyzer",
+    "RULES",
+    "Severity",
+    "ValidationReport",
+    "analyze_configs",
+    "analyze_text",
+    "run_validation",
+    "validate_cell",
+]

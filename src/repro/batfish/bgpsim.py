@@ -71,7 +71,6 @@ from ..netmodel.routing_policy import (
     SetLocalPref,
     SetMed,
 )
-from ..netmodel.aspath import AsPath
 
 __all__ = [
     "BgpSession",

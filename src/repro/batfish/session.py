@@ -23,7 +23,7 @@ from ..symbolic import (
     RouteConstraint,
     search_route_policies,
 )
-from .bgpsim import BgpSimulation, BgpSession
+from .bgpsim import BgpSimulation
 from .snapshot import Snapshot
 
 __all__ = ["Session", "BfSessionError", "BgpSessionRow"]

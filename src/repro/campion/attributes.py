@@ -8,7 +8,7 @@ corresponding components.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..netmodel.device import RouterConfig
 from ..netmodel.interfaces import Interface

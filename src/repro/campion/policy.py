@@ -13,7 +13,7 @@ pointer checks rather than set comparisons.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..netmodel.device import RouterConfig
 from ..netmodel.route import Protocol

@@ -16,7 +16,7 @@ output for this case "is not informative enough" for GPT-4 to self-fix).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..netmodel.acl import AccessList, AclEntry
 from ..netmodel.aspath import AsPathAccessList

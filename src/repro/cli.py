@@ -13,6 +13,7 @@ Commands::
     status        live per-shard progress of a service campaign
     result        merged summary of a service campaign (works mid-run)
     fuzz          differential fuzzing of the optimization-toggle matrix
+    lint          simulator-grounded static analysis of routing policy
 
 All commands accept ``--seed`` (default 0); ``synthesize`` also accepts
 ``--routers`` (default 7), ``--family`` (default star), ``--no-iips``,
@@ -55,6 +56,14 @@ RIB/verdict/witness/memo equality against the all-legacy baseline,
 shrinks any divergence to a minimal repro under ``--corpus``
 (default ``tests/fuzz_corpus``), and journals progress for
 ``--resume``; ``fuzz --replay`` re-checks every corpus file.
+``lint`` builds the reference configs for one topology cell
+(``--family``/``--routers`` plus the seeded-family knobs), runs every
+static-analysis rule over them, and exits 1 on any HIGH finding;
+``--fault KEY`` first injects the named catalog fault at its designated
+router (the lint should then fire), ``--json`` emits the structured
+report, ``--out`` additionally writes it to a file, and ``--validate``
+runs the full precision/recall harness over all nine canonical cells
+and exits by its gate (zero clean HIGH findings, 100% catalog recall).
 """
 
 from __future__ import annotations
@@ -310,6 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "run the static policy analyzer over every scenario's final "
+            "synthesized drafts and record the finding counts in the "
+            "journal (v7) and summary"
+        ),
+    )
+    campaign.add_argument(
         "--quiet", action="store_true", help="print only the aggregates"
     )
 
@@ -488,6 +506,72 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--plant", action="append", default=None, help=argparse.SUPPRESS
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="simulator-grounded static analysis of routing policy",
+    )
+    lint.add_argument(
+        "--family",
+        default="star",
+        help="topology family: star, chain, ring, mesh, dumbbell, random, waxman",
+    )
+    lint.add_argument(
+        "--routers", type=int, default=7, help="router count (default 7)"
+    )
+    lint.add_argument(
+        "--topo-seed",
+        type=int,
+        default=0,
+        help="graph seed for the seeded families (random, waxman)",
+    )
+    lint.add_argument(
+        "--roles",
+        default=None,
+        metavar="SPEC",
+        help="role spec for the seeded families, e.g. c2i2h2",
+    )
+    lint.add_argument(
+        "--topo",
+        default=None,
+        metavar="KNOBS",
+        help="topology knobs for the seeded families, e.g. p=0.4",
+    )
+    lint.add_argument(
+        "--place",
+        default=None,
+        metavar="STRATEGY",
+        help="role placement for the seeded families: seeded or degree",
+    )
+    lint.add_argument(
+        "--fault",
+        default=None,
+        metavar="KEY",
+        help=(
+            "inject the named synthesis-fault-catalog fault at its "
+            "designated router before linting (the analyzer should fire)"
+        ),
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured JSON report instead of text",
+    )
+    lint.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="additionally write the JSON report to PATH",
+    )
+    lint.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "run the precision/recall harness over all nine canonical "
+            "cells and exit by its gate (clean HIGH findings or sub-100%% "
+            "recall fail); the single-cell flags above are rejected"
+        ),
+    )
     return parser
 
 
@@ -505,6 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "result": _cmd_result,
         "fuzz": _cmd_fuzz,
+        "lint": _cmd_lint,
     }[args.command]
     try:
         return handler(args)
@@ -637,6 +722,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         CampaignInterrupted,
         build_grid,
         run_campaign,
+        set_campaign_lint,
         set_worker_shipping,
         summary_from_journals,
     )
@@ -666,6 +752,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--route-model", args.route_model != defaults.route_model),
                 ("--ship", args.ship != defaults.ship),
                 ("--no-decision-cache", args.no_decision_cache),
+                ("--lint", args.lint),
             )
             if given
         ]
@@ -693,6 +780,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         set_decision_cache(False)
     set_route_model(args.route_model)
     set_worker_shipping(args.ship)
+    set_campaign_lint(args.lint)
     families = [item for item in args.families.split(",") if item]
     profiles = [item for item in args.profiles.split(",") if item]
     try:
@@ -1078,6 +1166,120 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print(summary.render())
     return 1 if summary.mismatches else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from pathlib import Path
+
+    from .analysis import analyze_configs, run_validation
+
+    if args.validate:
+        # The harness fixes its own grid: any single-cell flag would be
+        # inert, so reject non-defaults rather than let them look like
+        # they scoped the validation.
+        defaults = build_parser().parse_args(["lint", "--validate"])
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--family", args.family != defaults.family),
+                ("--routers", args.routers != defaults.routers),
+                ("--topo-seed", args.topo_seed != defaults.topo_seed),
+                ("--roles", args.roles is not None),
+                ("--topo", args.topo is not None),
+                ("--place", args.place is not None),
+                ("--fault", args.fault is not None),
+            )
+            if given
+        ]
+        if conflicting:
+            print(
+                f"error: --validate runs the fixed nine-cell harness and "
+                f"cannot be combined with {', '.join(conflicting)}",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_validation()
+        payload = report.to_dict()
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(report.render_text())
+        if args.out:
+            target = Path(args.out)
+            target.write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {target}", file=sys.stderr)
+        return 0 if report.ok else 1
+
+    from .cisco.generator import generate_cisco
+    from .topology.families import generate_network
+    from .topology.reference import build_reference_configs
+
+    try:
+        network = generate_network(
+            args.family,
+            args.routers,
+            seed=args.topo_seed,
+            roles=args.roles,
+            params=args.topo,
+            place=args.place,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    topology = network.topology
+    configs = dict(build_reference_configs(topology))
+    texts = {name: generate_cisco(config) for name, config in configs.items()}
+
+    if args.fault is not None:
+        from .llm.faults import DraftState, FaultTargetError
+        from .llm.synthesis_faults import (
+            fault_designations,
+            synthesis_fault_catalog,
+        )
+
+        catalog = synthesis_fault_catalog(topology)
+        designations = fault_designations(topology)
+        if args.fault not in catalog:
+            known = ", ".join(sorted(catalog))
+            print(
+                f"error: unknown fault {args.fault!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        router = designations.get(args.fault)
+        if router is None or router not in configs:
+            print(
+                f"error: fault {args.fault!r} has no designated router "
+                f"on this topology",
+                file=sys.stderr,
+            )
+            return 2
+        state = DraftState(configs[router], generate_cisco)
+        state.inject(catalog[args.fault])
+        try:
+            configs[router] = state.current_config()
+            texts[router] = state.render()
+        except FaultTargetError as exc:
+            print(
+                f"error: fault {args.fault!r} found no target on "
+                f"{router}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = analyze_configs(configs, topology=topology, texts=texts)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render_text())
+    if args.out:
+        target = Path(args.out)
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {target}", file=sys.stderr)
+    return 1 if report.high else 0
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ can materialize that snapshot as an on-disk folder.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict
 
 from ..batfish.snapshot import Snapshot
 

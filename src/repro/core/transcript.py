@@ -9,7 +9,7 @@ back-edge) from data rather than prose.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["SessionTranscript", "TranscriptEvent"]
 

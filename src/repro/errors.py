@@ -12,8 +12,7 @@ by.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 __all__ = ["ErrorCategory", "Finding"]
 

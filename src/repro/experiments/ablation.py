@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..llm import BehaviorProfile
-from .no_transit import NoTransitExperiment, run_no_transit_experiment
-from .translation import TranslationExperiment, run_translation_experiment
+from .no_transit import run_no_transit_experiment
+from .translation import run_translation_experiment
 
 __all__ = ["AblationResult", "run_translation_ablation", "run_synthesis_ablation"]
 

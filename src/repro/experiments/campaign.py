@@ -78,6 +78,8 @@ __all__ = [
     "run_scenario",
     "scenario_seed",
     "service_journals",
+    "campaign_lint",
+    "set_campaign_lint",
     "set_worker_shipping",
     "summary_from_journal",
     "summary_from_journals",
@@ -91,10 +93,12 @@ __all__ = [
 # keys/rows and the route-datapath counters to each journal record;
 # v5 adds the full traceback (``trace``) to error rows; v6 adds each
 # record's flat metrics delta (``metrics`` — the repro.obs registry
-# series the scenario moved).  Folding stays bidirectionally tolerant:
-# unknown row fields are dropped, missing ones take their dataclass
-# defaults.
-JOURNAL_VERSION = 6
+# series the scenario moved); v7 adds the static-analysis columns
+# (``lint_findings``/``lint_high``) to rows of ``--lint`` campaigns
+# (absent — not null — on rows of campaigns that did not lint).
+# Folding stays bidirectionally tolerant: unknown row fields are
+# dropped, missing ones take their dataclass defaults.
+JOURNAL_VERSION = 7
 
 # Named behavior profiles a scenario can select.  Names (not objects)
 # travel through the grid so scenarios stay trivially picklable.
@@ -144,6 +148,28 @@ def set_worker_shipping(mode: str) -> None:
 
 def worker_shipping() -> str:
     return _SHIP_MODE
+
+
+# -- the campaign lint axis ----------------------------------------------------
+#
+# With linting on, every successful scenario also runs the static
+# policy analyzer over the final synthesized drafts and records the
+# finding counts in its result row (journal v7).  A module global —
+# not a Scenario field — so scenario keys (and therefore resume
+# identity) are unchanged; pool workers receive it via _init_worker,
+# exactly like the optimization toggles.
+
+_LINT_ENABLED = False
+
+
+def set_campaign_lint(enabled: bool) -> None:
+    """Enable per-scenario static analysis of the synthesized drafts."""
+    global _LINT_ENABLED
+    _LINT_ENABLED = bool(enabled)
+
+
+def campaign_lint() -> bool:
+    return _LINT_ENABLED
 
 
 _LOGGER = logging.getLogger(__name__)
@@ -247,6 +273,12 @@ class ScenarioResult:
     # stripped from summary JSON/CSV).  None on success and on rows
     # folded from pre-v5 journals.
     trace: Optional[str] = None
+    # Static-analysis counts over the final synthesized drafts (v7,
+    # ``--lint`` campaigns only).  None — and absent from summary
+    # JSON — when the campaign did not lint, so non-lint summaries
+    # stay byte-identical to v6.
+    lint_findings: Optional[int] = None
+    lint_high: Optional[int] = None
 
     def render(self) -> str:
         if self.error is not None:
@@ -270,6 +302,8 @@ class ScenarioResult:
             line += f" place={self.place}"
         if self.roles_total:
             line += f" roles_ok={self.roles_ok}/{self.roles_total}"
+        if self.lint_findings is not None:
+            line += f" lint={self.lint_findings}({self.lint_high} high)"
         return line
 
 
@@ -452,6 +486,10 @@ def run_scenario(scenario: Scenario, network=None) -> ScenarioResult:
     verdicts = (
         global_check.role_verdicts if global_check is not None else {}
     )
+    lint_findings: Optional[int] = None
+    lint_high: Optional[int] = None
+    if _LINT_ENABLED:
+        lint_findings, lint_high = _lint_drafts(experiment)
     return ScenarioResult(
         family=scenario.family,
         size=scenario.size,
@@ -469,7 +507,41 @@ def run_scenario(scenario: Scenario, network=None) -> ScenarioResult:
         roles_ok=sum(1 for verdict in verdicts.values() if verdict),
         roles_total=len(verdicts),
         place=scenario.place,
+        lint_findings=lint_findings,
+        lint_high=lint_high,
     )
+
+
+def _lint_drafts(experiment) -> Tuple[Optional[int], Optional[int]]:
+    """Static-analysis counts over the final synthesized drafts.
+
+    Analyzes whatever drafts exist (a router whose chat never produced
+    one is skipped; the analyzer tolerates partial config sets) and
+    swallows analysis failures into ``(None, None)`` — linting is an
+    auxiliary measurement and must not turn a completed scenario into
+    an error row.
+    """
+    from ..analysis import analyze_configs
+    from ..obs import counter
+
+    try:
+        topology = experiment.network.topology
+        configs = {}
+        texts = {}
+        for name, model in experiment.models.items():
+            try:
+                draft = model.draft
+            except RuntimeError:  # chat never produced a draft
+                continue
+            configs[name] = draft.current_config()
+            texts[name] = draft.render()
+        if not configs:
+            return None, None
+        report = analyze_configs(configs, topology=topology, texts=texts)
+    except Exception:
+        counter("analysis.campaign_errors").inc()
+        return None, None
+    return len(report), report.high
 
 
 @dataclass(frozen=True)
@@ -580,10 +652,17 @@ def _journal_header(grid: Sequence[Scenario]) -> str:
 
 
 def _journal_line(completed: CompletedScenario) -> str:
+    row = asdict(completed.row)
+    if row.get("lint_findings") is None:
+        # v7 contract: the lint columns are absent — not null — on rows
+        # of campaigns that did not lint, keeping unlinted journals
+        # row-shape-identical to v6.
+        row.pop("lint_findings", None)
+        row.pop("lint_high", None)
     record = {
         "kind": "result",
         "key": completed.key,
-        "row": asdict(completed.row),
+        "row": row,
         "cache_hits": completed.cache_hits,
         "cache_misses": completed.cache_misses,
         "sim_full_runs": completed.sim_full_runs,
@@ -986,10 +1065,18 @@ class CampaignSummary:
         record = asdict(row)
         del record["duration_s"]  # wall-clock: journal-only
         record.pop("trace", None)  # tracebacks: journal-only
+        if record.get("lint_findings") is None:
+            # Non-lint campaigns keep their v6 summary shape exactly.
+            record.pop("lint_findings", None)
+            record.pop("lint_high", None)
         return record
 
+    @property
+    def linted_rows(self) -> List[ScenarioResult]:
+        return [row for row in self.rows if row.lint_findings is not None]
+
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "scenarios": len(self.rows),
             "errors": len(self.errors),
             "families": {
@@ -1007,6 +1094,14 @@ class CampaignSummary:
             },
             "rows": [self._row_dict(row) for row in self.rows],
         }
+        linted = self.linted_rows
+        if linted:
+            payload["lint"] = {
+                "scenarios": len(linted),
+                "findings": sum(row.lint_findings or 0 for row in linted),
+                "high": sum(row.lint_high or 0 for row in linted),
+            }
+        return payload
 
     def write_json(self, path: "Path | str") -> Path:
         target = Path(path)
@@ -1025,6 +1120,10 @@ class CampaignSummary:
             writer.writeheader()
             for row in self.rows:
                 record = self._row_dict(row)
+                # The CSV column set is fixed; lint counts live in the
+                # JSON summary and the journal only.
+                record.pop("lint_findings", None)
+                record.pop("lint_high", None)
                 if record["leverage"] is None:
                     # None means "no human prompts" on a completed run;
                     # error rows keep the column empty.
@@ -1061,6 +1160,14 @@ class CampaignSummary:
             lines.append(
                 f"  route datapath: {self.routes_built} route(s) built / "
                 f"{self.routes_reused} reused without copying"
+            )
+        linted = self.linted_rows
+        if linted:
+            lines.append(
+                f"  lint: {sum(row.lint_findings or 0 for row in linted)} "
+                f"finding(s) "
+                f"({sum(row.lint_high or 0 for row in linted)} high) "
+                f"across {len(linted)} linted scenario(s)"
             )
         for name, hits, misses in self.cache_breakdown():
             lookups = hits + misses
@@ -1245,7 +1352,9 @@ def _toggle_snapshot() -> Dict[str, object]:
 
 
 def _init_worker(
-    toggle_values: Dict[str, object], tracing: bool = False
+    toggle_values: Dict[str, object],
+    tracing: bool = False,
+    lint: bool = False,
 ) -> None:
     """Propagate the parent's optimization toggles into a pool worker.
 
@@ -1262,6 +1371,7 @@ def _init_worker(
 
     toggles.apply(toggle_values)
     set_tracing(tracing)
+    set_campaign_lint(lint)
 
 
 def run_campaign(
@@ -1367,7 +1477,7 @@ def run_campaign(
             executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(_toggle_snapshot(), tracing),
+                initargs=(_toggle_snapshot(), tracing, _LINT_ENABLED),
             )
             abandoned = False
             try:

@@ -10,7 +10,7 @@ measures how many of those error classes reach the correction loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..core import DEFAULT_IIP_IDS
 from ..llm import BehaviorProfile

@@ -21,9 +21,8 @@ the interference is invisible to the new invariant alone.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..batfish.bgpsim import ResimStats
 from ..cisco import generate_cisco, parse_cisco

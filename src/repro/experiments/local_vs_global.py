@@ -19,7 +19,6 @@ import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..cisco import generate_cisco
 from ..lightyear.compose import IncrementalGlobalChecker, check_global_no_transit
 from ..netmodel.aspath import AsPathAccessList
 from ..netmodel.device import RouterConfig
@@ -32,10 +31,9 @@ from ..netmodel.routing_policy import (
 )
 from ..netmodel.ip import PrefixRange
 from ..netmodel.prefixlist import PrefixList
-from ..batfish.snapshot import Snapshot
 from ..topology import StarNetwork, generate_network, generate_star_network
 from ..topology.generator import CUSTOMER_ASN
-from ..topology.reference import build_reference_configs, egress_map_name
+from ..topology.reference import build_reference_configs
 from .no_transit import run_no_transit_experiment
 
 __all__ = [

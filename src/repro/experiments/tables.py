@@ -7,7 +7,6 @@ can be compared line-by-line against the paper.
 
 from __future__ import annotations
 
-from typing import List
 
 from .ablation import run_synthesis_ablation, run_translation_ablation
 from .local_vs_global import run_local_vs_global

@@ -22,7 +22,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core import toggles
 from .corpus import make_record, write_repro
@@ -44,11 +44,19 @@ __all__ = [
     "FuzzIterationResult",
     "FuzzSummary",
     "fold_fuzz_journal",
+    "lint_scenario",
     "run_fuzz",
     "run_fuzz_iteration",
 ]
 
-FUZZ_JOURNAL_VERSION = 1
+# v2 adds the static-analysis cross-check columns to every executed
+# iteration: ``broken`` (did the baseline observation end with a
+# violated invariant or failed global check), ``lint_findings``/
+# ``lint_high`` (analyzer counts over the final edited configs), and
+# ``recall_gap`` (simulator says broken, analyzer found nothing — a
+# journaled hole in the lint rule set).  Folding stays tolerant in
+# both directions.
+FUZZ_JOURNAL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,15 @@ class FuzzIterationResult:
     mismatch: Optional[str] = None
     repro: Optional[dict] = None  # shrunk corpus record, ready to write
     error: Optional[str] = None  # scenario-generation failure (skipped)
+    # Static-analysis cross-check (journal v2).  ``recall_gap`` is the
+    # interesting bit: the simulator proves the final edited configs
+    # broken, yet the analyzer found nothing — a measured hole in the
+    # lint rule set, journaled so it can become a new rule.  All None
+    # on skipped iterations and rows folded from v1 journals.
+    broken: Optional[bool] = None
+    lint_findings: Optional[int] = None
+    lint_high: Optional[int] = None
+    recall_gap: Optional[bool] = None
 
 
 def _apply_planted(planted: Sequence[str]) -> None:
@@ -149,6 +166,9 @@ def _fuzz_index(
             ok=True,
             error=f"{type(exc).__name__}: {exc}",
         )
+    broken, lint_findings, lint_high, recall_gap = _lint_cross_check(
+        scenario, baseline_obs
+    )
     cache: Dict[str, dict] = {}
 
     def observed(combo: Dict[str, Any]) -> dict:
@@ -174,7 +194,15 @@ def _fuzz_index(
                 failure = ("memo", combo, partner, memo_mismatch)
                 break
     if failure is None:
-        return FuzzIterationResult(index=index, key=scenario.key(), ok=True)
+        return FuzzIterationResult(
+            index=index,
+            key=scenario.key(),
+            ok=True,
+            broken=broken,
+            lint_findings=lint_findings,
+            lint_high=lint_high,
+            recall_gap=recall_gap,
+        )
 
     check, combo, against, mismatch = failure
 
@@ -221,7 +249,75 @@ def _fuzz_index(
         combo=combo,
         mismatch=final_mismatch or mismatch,
         repro=record,
+        broken=broken,
+        lint_findings=lint_findings,
+        lint_high=lint_high,
+        recall_gap=recall_gap,
     )
+
+
+def _lint_cross_check(
+    scenario: FuzzScenario, baseline_obs: dict
+) -> Tuple[Optional[bool], Optional[int], Optional[int], Optional[bool]]:
+    """Cross the simulator's verdict with the static analyzer's.
+
+    ``broken`` reads the *final* baseline step (the state the analyzer
+    sees): any local-invariant violation or a failed global check.  The
+    analyzer then runs over the same final edited configs; a broken
+    network that lints clean is a recall gap — journaled, and counted
+    on ``analysis.recall_gaps``, so fuzzing continuously measures the
+    rule set's blind spots.  Analysis failures degrade to all-None
+    rather than aborting the iteration.
+    """
+    try:
+        last = baseline_obs["steps"][-1]
+        broken = bool(last["violations"]) or not last["global"]["holds"]
+    except (KeyError, IndexError, TypeError):
+        return None, None, None, None
+    try:
+        from ..obs import counter
+
+        report = lint_scenario(scenario)
+    except Exception:
+        return broken, None, None, None
+    recall_gap = bool(broken and len(report) == 0)
+    if recall_gap:
+        counter("analysis.recall_gaps").inc()
+    return broken, len(report), report.high, recall_gap
+
+
+def lint_scenario(scenario: FuzzScenario):
+    """Run the static analyzer over a fuzz scenario's *final* configs.
+
+    Rebuilds the reference configs for the scenario's topology, applies
+    its whole edit sequence, renders every router, and returns the
+    :class:`~repro.analysis.findings.LintReport`.  Pure function of the
+    scenario — the corpus determinism test asserts two calls serialize
+    identically.
+    """
+    from ..analysis import analyze_configs
+    from ..cisco.generator import generate_cisco
+    from ..experiments.no_transit import materialize_network
+    from ..topology.reference import build_reference_configs
+    from .edits import apply_edit_op, resolve_router
+
+    network = materialize_network(
+        scenario.family,
+        scenario.size,
+        roles=scenario.roles,
+        topo=scenario.topo,
+        topology_seed=scenario.topology_seed,
+        place=scenario.place,
+    )
+    topology = network.topology
+    configs = build_reference_configs(topology)
+    for edit in scenario.edits:
+        router = resolve_router(edit.router_index, configs)
+        apply_edit_op(edit.op, configs, router)
+    texts = {
+        name: generate_cisco(config) for name, config in configs.items()
+    }
+    return analyze_configs(configs, topology=topology, texts=texts)
 
 
 # -- the fuzz journal ----------------------------------------------------------
@@ -252,6 +348,10 @@ def _fuzz_line(result: FuzzIterationResult) -> str:
             "mismatch": result.mismatch,
             "repro": result.repro,
             "error": result.error,
+            "broken": result.broken,
+            "lint_findings": result.lint_findings,
+            "lint_high": result.lint_high,
+            "recall_gap": result.recall_gap,
         },
         sort_keys=True,
     )
@@ -292,6 +392,10 @@ def fold_fuzz_journal(path: "Path | str") -> Dict[int, FuzzIterationResult]:
                 mismatch=record.get("mismatch"),
                 repro=record.get("repro"),
                 error=record.get("error"),
+                broken=record.get("broken"),
+                lint_findings=record.get("lint_findings"),
+                lint_high=record.get("lint_high"),
+                recall_gap=record.get("recall_gap"),
             )
     return results
 
@@ -318,6 +422,12 @@ class FuzzSummary:
     def skipped(self) -> List[FuzzIterationResult]:
         return [result for result in self.results if result.error is not None]
 
+    @property
+    def recall_gaps(self) -> List[FuzzIterationResult]:
+        """Iterations the simulator proved broken but the analyzer
+        linted clean — measured blind spots in the lint rule set."""
+        return [result for result in self.results if result.recall_gap]
+
     def render(self) -> str:
         lines = []
         for result in self.results:
@@ -332,12 +442,19 @@ class FuzzSummary:
                     f"         {result.check} mismatch under "
                     f"{result.combo}:\n         {result.mismatch}"
                 )
+            if result.recall_gap:
+                lines.append(
+                    f"  [{result.index:>4}] LINT-GAP {result.key} "
+                    f"(simulator: broken; analyzer: 0 findings)"
+                )
         status = (
             f"fuzz: {len(self.results)} iteration(s), "
             f"{len(self.mismatches)} mismatch(es), "
             f"{len(self.skipped)} skipped, seed {self.fuzz_seed}, "
             f"{self.workers} worker(s), {self.duration_s:.2f}s"
         )
+        if self.recall_gaps:
+            status += f", {len(self.recall_gaps)} lint recall gap(s)"
         lines.append(status)
         for path in self.corpus_written:
             lines.append(f"  shrunk repro written: {path}")

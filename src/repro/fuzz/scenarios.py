@@ -13,7 +13,7 @@ import json
 import random
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Tuple
 
 __all__ = ["FuzzEdit", "FuzzScenario", "scenario_at"]
 

@@ -16,7 +16,7 @@ small enough to read, stable enough to replay forever.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from .scenarios import FuzzScenario
 

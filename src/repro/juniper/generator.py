@@ -8,7 +8,7 @@ has no matching named list (Junos cannot set a literal community).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..netmodel.communities import Community
 from ..netmodel.device import RouterConfig

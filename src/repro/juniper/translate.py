@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List, Set
 
 from ..netmodel.device import RouterConfig, Vendor
 from ..netmodel.route import Protocol

@@ -130,7 +130,6 @@ def no_transit_invariants(topology: Topology) -> List[object]:
     for index, name in enumerate(topology.router_names(), start=1):
         if name == "R1":
             continue
-        router = topology.router(name)
         hub_neighbor = next(
             (spec for spec in hub.neighbors if spec.peer_name == name), None
         )

@@ -21,8 +21,8 @@ the orchestrator unchanged.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..netmodel.device import RouterConfig
 from .behavior import BehaviorProfile, CorrectionOutcome, sample_outcome

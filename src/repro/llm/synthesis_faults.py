@@ -30,7 +30,7 @@ every check vacuously.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import ErrorCategory
 from ..netmodel.communities import Community

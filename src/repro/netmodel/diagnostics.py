@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 __all__ = ["ParseStatus", "ParseWarning", "Diagnostics"]
 

@@ -7,7 +7,7 @@ Table 2), plus the physical naming needed by the topology verifier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .ip import Ipv4Address, Prefix

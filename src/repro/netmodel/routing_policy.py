@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol as TypingProtocol, Sequence, Tuple
+from typing import List, Optional, Protocol as TypingProtocol, Tuple
 
 from .acl import AccessList
 from .aspath import AsPathAccessList
@@ -61,7 +61,63 @@ class Action(enum.Enum):
 
 
 class PolicyEvaluationError(Exception):
-    """Raised when a policy references an undefined named structure."""
+    """Raised when a policy references an undefined named structure.
+
+    Carries the site: ``kind``/``name`` identify the undefined
+    structure, and ``router``/``route_map``/``clause_seq`` are filled
+    in by the evaluation layers that know them — so a runtime failure
+    names the same (router, map, clause) coordinates a ``repro lint``
+    ``undefined-ref`` finding does.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        router: Optional[str] = None,
+        route_map: Optional[str] = None,
+        clause_seq: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self._base_message = message
+        self.kind = kind
+        self.name = name
+        self.router = router
+        self.route_map = route_map
+        self.clause_seq = clause_seq
+        self._rerender()
+
+    def annotate(
+        self,
+        *,
+        router: Optional[str] = None,
+        route_map: Optional[str] = None,
+        clause_seq: Optional[int] = None,
+    ) -> "PolicyEvaluationError":
+        """Fill in missing site context (first annotation wins)."""
+        if self.router is None:
+            self.router = router
+        if self.route_map is None:
+            self.route_map = route_map
+        if self.clause_seq is None:
+            self.clause_seq = clause_seq
+        self._rerender()
+        return self
+
+    def _rerender(self) -> None:
+        parts = []
+        if self.router is not None:
+            parts.append(f"router {self.router}")
+        if self.route_map is not None:
+            parts.append(f"route-map {self.route_map}")
+        if self.clause_seq is not None:
+            parts.append(f"clause {self.clause_seq}")
+        if parts:
+            self.args = (f"{self._base_message} ({', '.join(parts)})",)
+        else:
+            self.args = (self._base_message,)
 
 
 class PolicyContext(TypingProtocol):
@@ -100,7 +156,12 @@ class MatchPrefixList(MatchCondition):
     def matches(self, route: Route, context: PolicyContext) -> bool:
         prefix_list = context.get_prefix_list(self.name)
         if prefix_list is None:
-            raise PolicyEvaluationError(f"undefined prefix-list {self.name!r}")
+            raise PolicyEvaluationError(
+                f"undefined prefix-list {self.name!r}",
+                kind="prefix-list",
+                name=self.name,
+                router=getattr(context, "hostname", None),
+            )
         return prefix_list.permits(route.prefix)
 
     def describe(self) -> str:
@@ -117,7 +178,12 @@ class MatchAcl(MatchCondition):
     def matches(self, route: Route, context: PolicyContext) -> bool:
         access_list = context.get_access_list(self.name)
         if access_list is None:
-            raise PolicyEvaluationError(f"undefined access-list {self.name!r}")
+            raise PolicyEvaluationError(
+                f"undefined access-list {self.name!r}",
+                kind="access-list",
+                name=self.name,
+                router=getattr(context, "hostname", None),
+            )
         return access_list.permits_prefix(route.prefix)
 
     def describe(self) -> str:
@@ -147,7 +213,12 @@ class MatchCommunityList(MatchCondition):
     def matches(self, route: Route, context: PolicyContext) -> bool:
         community_list = context.get_community_list(self.name)
         if community_list is None:
-            raise PolicyEvaluationError(f"undefined community-list {self.name!r}")
+            raise PolicyEvaluationError(
+                f"undefined community-list {self.name!r}",
+                kind="community-list",
+                name=self.name,
+                router=getattr(context, "hostname", None),
+            )
         return community_list.permits(route.communities)
 
     def describe(self) -> str:
@@ -182,7 +253,12 @@ class MatchAsPathList(MatchCondition):
     def matches(self, route: Route, context: PolicyContext) -> bool:
         as_path_list = context.get_as_path_list(self.name)
         if as_path_list is None:
-            raise PolicyEvaluationError(f"undefined as-path list {self.name!r}")
+            raise PolicyEvaluationError(
+                f"undefined as-path list {self.name!r}",
+                kind="as-path list",
+                name=self.name,
+                router=getattr(context, "hostname", None),
+            )
         return as_path_list.permits(route.as_path)
 
     def describe(self) -> str:
@@ -326,7 +402,14 @@ class RouteMapClause:
         RouteBuilder` — builders duck-type the readable route surface,
         so conditions see the transaction's current state.
         """
-        return all(condition.matches(route, context) for condition in self.matches)
+        try:
+            return all(
+                condition.matches(route, context)
+                for condition in self.matches
+            )
+        except PolicyEvaluationError as exc:
+            exc.annotate(clause_seq=self.seq)
+            raise
 
     def apply_sets(self, builder: RouteBuilder) -> None:
         """Record every set action on the shared builder (v2 datapath)."""
@@ -377,6 +460,16 @@ class RouteMap:
 
     def evaluate(self, route: Route, context: PolicyContext) -> PolicyResult:
         """Run the route through the map, returning disposition + route."""
+        try:
+            return self._evaluate(route, context)
+        except PolicyEvaluationError as exc:
+            exc.annotate(
+                router=getattr(context, "hostname", None),
+                route_map=self.name,
+            )
+            raise
+
+    def _evaluate(self, route: Route, context: PolicyContext) -> PolicyResult:
         for clause in self.clauses:
             if clause.fires(route, context):
                 if clause.action is Action.DENY:
@@ -404,10 +497,17 @@ class RouteMap:
         (the implicit deny).  ``route`` may be a builder; matching
         never mutates, so callers can decide *whether* a transaction is
         needed before allocating one (v2's advertise fast path)."""
-        for clause in self.clauses:
-            if clause.fires(route, context):
-                return clause
-        return None
+        try:
+            for clause in self.clauses:
+                if clause.fires(route, context):
+                    return clause
+            return None
+        except PolicyEvaluationError as exc:
+            exc.annotate(
+                router=getattr(context, "hostname", None),
+                route_map=self.name,
+            )
+            raise
 
     def apply(self, builder: RouteBuilder, context: PolicyContext) -> Action:
         """Evaluate against a shared builder's current state (v2 API).
@@ -468,10 +568,14 @@ class PreparedRouteMap:
 
     def __init__(self, route_map: "RouteMap", context: PolicyContext) -> None:
         self._route_map = route_map
+        self._router = getattr(context, "hostname", None)
         self._clauses = [
             (
                 clause,
-                [self._bind(condition, context) for condition in clause.matches],
+                [
+                    self._bind(condition, context, clause.seq)
+                    for condition in clause.matches
+                ],
             )
             for clause in route_map.clauses
         ]
@@ -480,8 +584,21 @@ class PreparedRouteMap:
     def name(self) -> str:
         return self._route_map.name
 
-    @staticmethod
-    def _bind(condition: MatchCondition, context: PolicyContext):
+    def _bind(
+        self, condition: MatchCondition, context: PolicyContext, seq: int
+    ):
+        def undefined(kind: str, name: str):
+            # Bake the full site into the raiser: the prepared path
+            # resolves names once up front, so the error it defers
+            # already knows which clause of which map on which router.
+            return _undefined_raiser(
+                kind,
+                name,
+                router=self._router,
+                route_map=self._route_map.name,
+                clause_seq=seq,
+            )
+
         if isinstance(condition, MatchPrefixList):
             resolved = context.get_prefix_list(condition.name)
             if resolved is not None:
@@ -491,28 +608,35 @@ class PreparedRouteMap:
                     # lines — collapses to one hash-set membership test.
                     return lambda route: route.prefix in exact
                 return lambda route: resolved.permits(route.prefix)
-            return _undefined_raiser("prefix-list", condition.name)
+            return undefined("prefix-list", condition.name)
         if isinstance(condition, MatchCommunityList):
             resolved = context.get_community_list(condition.name)
             if resolved is not None:
                 return lambda route: resolved.permits(route.communities)
-            return _undefined_raiser("community-list", condition.name)
+            return undefined("community-list", condition.name)
         if isinstance(condition, MatchAsPathList):
             resolved = context.get_as_path_list(condition.name)
             if resolved is not None:
                 return lambda route: resolved.permits(route.as_path)
-            return _undefined_raiser("as-path list", condition.name)
+            return undefined("as-path list", condition.name)
         if isinstance(condition, MatchAcl):
             resolved = context.get_access_list(condition.name)
             if resolved is not None:
                 return lambda route: resolved.permits_prefix(route.prefix)
-            return _undefined_raiser("access-list", condition.name)
+            return undefined("access-list", condition.name)
         # Context-free conditions (inline communities, prefix ranges,
         # protocol, future kinds): nothing to pre-resolve.
         return lambda route: condition.matches(route, context)
 
     def evaluate(self, route: Route) -> PolicyResult:
         """Identical outcome to ``RouteMap.evaluate`` on the bound context."""
+        try:
+            return self._evaluate(route)
+        except PolicyEvaluationError as exc:
+            exc.annotate(router=self._router, route_map=self.name)
+            raise
+
+    def _evaluate(self, route: Route) -> PolicyResult:
         for clause, matchers in self._clauses:
             fired = True
             for matcher in matchers:  # plain loop: no genexpr frames
@@ -539,15 +663,19 @@ class PreparedRouteMap:
         """The first clause whose bound matchers accept the route (or a
         builder), or ``None`` for the implicit deny.  Matching never
         mutates — see :meth:`RouteMap.find_clause`."""
-        for clause, matchers in self._clauses:
-            fired = True
-            for matcher in matchers:
-                if not matcher(route):
-                    fired = False
-                    break
-            if fired:
-                return clause
-        return None
+        try:
+            for clause, matchers in self._clauses:
+                fired = True
+                for matcher in matchers:
+                    if not matcher(route):
+                        fired = False
+                        break
+                if fired:
+                    return clause
+            return None
+        except PolicyEvaluationError as exc:
+            exc.annotate(router=self._router, route_map=self.name)
+            raise
 
     def apply(self, builder: RouteBuilder) -> Action:
         """Transactional form of :meth:`evaluate` (v2 API).
@@ -563,9 +691,23 @@ class PreparedRouteMap:
         return Action.PERMIT
 
 
-def _undefined_raiser(kind: str, name: str):
+def _undefined_raiser(
+    kind: str,
+    name: str,
+    *,
+    router: Optional[str] = None,
+    route_map: Optional[str] = None,
+    clause_seq: Optional[int] = None,
+):
     def raiser(route: Route) -> bool:
-        raise PolicyEvaluationError(f"undefined {kind} {name!r}")
+        raise PolicyEvaluationError(
+            f"undefined {kind} {name!r}",
+            kind=kind,
+            name=name,
+            router=router,
+            route_map=route_map,
+            clause_seq=clause_seq,
+        )
 
     return raiser
 

@@ -30,7 +30,7 @@ keys take the *after* value in a delta and merge by ``max``.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 __all__ = [
     "Counter",

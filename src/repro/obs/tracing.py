@@ -59,9 +59,10 @@ def tracing_enabled() -> bool:
 
 
 def _stack() -> List[str]:
-    stack = getattr(_local, "stack", None)
+    stack: Optional[List[str]] = getattr(_local, "stack", None)
     if stack is None:
-        stack = _local.stack = []
+        stack = []
+        _local.stack = stack
     return stack
 
 

@@ -42,7 +42,7 @@ from __future__ import annotations
 import math
 import random
 import zlib
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .roles import RoleSpec
 

@@ -1,0 +1,221 @@
+"""Analyzer rules against hand-built configs and reference cells."""
+
+from repro.analysis import PolicyAnalyzer, RULES, analyze_configs, analyze_text
+from repro.cisco.generator import generate_cisco
+from repro.netmodel.communities import Community
+from repro.netmodel.device import RouterConfig
+from repro.netmodel.ip import Prefix, PrefixRange
+from repro.netmodel.prefixlist import PrefixList
+from repro.netmodel.routing_policy import (
+    Action,
+    MatchCommunityInline,
+    MatchPrefixList,
+    RouteMap,
+    RouteMapClause,
+    SetMed,
+)
+from repro.topology.families import generate_network
+from repro.topology.reference import build_reference_configs
+
+
+def _cell_reports(family, size, **extra):
+    topology = generate_network(family, size, **extra).topology
+    configs = build_reference_configs(topology)
+    texts = {name: generate_cisco(config) for name, config in configs.items()}
+    return topology, configs, texts
+
+
+def _bare(hostname="R1"):
+    return RouterConfig(hostname=hostname, vendor="cisco")
+
+
+class TestCleanReferenceCells:
+    def test_star_reference_is_clean(self):
+        topology, configs, texts = _cell_reports("star", 7)
+        report = analyze_configs(configs, topology=topology, texts=texts)
+        assert len(report) == 0, report.render_text()
+
+    def test_border_reference_is_clean(self):
+        topology, configs, texts = _cell_reports(
+            "random", 8, seed=1, roles="c2i2h2"
+        )
+        report = analyze_configs(configs, topology=topology, texts=texts)
+        assert len(report) == 0, report.render_text()
+
+
+class TestReferenceRules:
+    def test_undefined_prefix_list_is_high(self):
+        config = _bare()
+        config.route_maps["M"] = RouteMap(
+            name="M",
+            clauses=[
+                RouteMapClause(
+                    seq=10,
+                    action=Action.PERMIT,
+                    matches=[MatchPrefixList("NOPE")],
+                )
+            ],
+        )
+        report = analyze_configs({"R1": config})
+        (finding,) = report.for_router("R1")
+        assert finding.rule == "undefined-ref"
+        assert finding.severity.value == "high"
+        assert "NOPE" in finding.message
+        assert finding.clause_seq == 10
+
+    def test_unused_prefix_list_is_low(self):
+        config = _bare()
+        unused = PrefixList("ORPHAN")
+        unused.add("permit", PrefixRange.exact(Prefix.parse("10.0.0.0/24")))
+        config.add_prefix_list(unused)
+        report = analyze_configs({"R1": config})
+        rules = {finding.rule for finding in report}
+        assert rules == {"unused-list"}
+
+    def test_sets_on_deny_clause_are_noop(self):
+        config = _bare()
+        config.route_maps["M"] = RouteMap(
+            name="M",
+            clauses=[
+                RouteMapClause(
+                    seq=10,
+                    action=Action.DENY,
+                    sets=[SetMed(50)],
+                ),
+                RouteMapClause(seq=20, action=Action.PERMIT),
+            ],
+        )
+        report = analyze_configs({"R1": config})
+        assert "noop-set" in report.by_rule()
+
+    def test_inline_community_match_is_high(self):
+        config = _bare()
+        config.route_maps["M"] = RouteMap(
+            name="M",
+            clauses=[
+                RouteMapClause(
+                    seq=10,
+                    action=Action.PERMIT,
+                    matches=[MatchCommunityInline(Community(100, 1))],
+                )
+            ],
+        )
+        report = analyze_configs({"R1": config})
+        assert "inline-community-match" in report.by_rule()
+        assert report.high >= 1
+
+
+class TestShadowing:
+    def test_duplicate_clause_is_shadowed(self):
+        config = _bare()
+        prefix_list = PrefixList("PL")
+        prefix_list.add("permit", PrefixRange.exact(Prefix.parse("10.0.0.0/24")))
+        config.add_prefix_list(prefix_list)
+        config.route_maps["M"] = RouteMap(
+            name="M",
+            clauses=[
+                RouteMapClause(
+                    seq=10,
+                    action=Action.PERMIT,
+                    matches=[MatchPrefixList("PL")],
+                ),
+                RouteMapClause(
+                    seq=20,
+                    action=Action.DENY,
+                    matches=[MatchPrefixList("PL")],
+                ),
+            ],
+        )
+        report = analyze_configs({"R1": config})
+        shadowed = [f for f in report if f.rule == "shadowed-clause"]
+        assert [f.clause_seq for f in shadowed] == [20]
+
+    def test_reachable_clauses_are_not_shadowed(self):
+        # The reference egress maps are deny-then-permit: every clause
+        # reachable, so the rule must stay silent on them (precision).
+        topology, configs, texts = _cell_reports(
+            "random", 8, seed=1, roles="c2i2h2"
+        )
+        report = analyze_configs(configs, topology=topology, texts=texts)
+        assert "shadowed-clause" not in report.by_rule()
+
+
+class TestRoleRules:
+    def test_permissive_egress_leaks_transit(self):
+        topology, configs, texts = _cell_reports(
+            "random", 8, seed=1, roles="c2i2h2"
+        )
+        analyzer = PolicyAnalyzer(configs, topology=topology)
+        (router, ip, slot, label) = analyzer._guarded_sessions()[0]
+        config = configs[router]
+        neighbor = config.bgp.neighbors[ip]
+        # Replace the egress filter with blanket permit: every other
+        # slot's tagged routes now transit this session.
+        from repro.netmodel.routing_policy import permit_all
+
+        map_name = neighbor.export_policy
+        config.route_maps[map_name] = permit_all(map_name)
+        report = analyze_configs(configs, topology=topology)
+        leaks = [f for f in report if f.rule == "transit-leak"]
+        assert any(f.router == router for f in leaks)
+
+    def test_missing_export_policy_is_flagged(self):
+        topology, configs, texts = _cell_reports(
+            "random", 8, seed=1, roles="c2i2h2"
+        )
+        analyzer = PolicyAnalyzer(configs, topology=topology)
+        (router, ip, slot, label) = analyzer._guarded_sessions()[0]
+        neighbor = configs[router].bgp.neighbors[ip]
+        neighbor.export_policy = None
+        report = analyze_configs(configs, topology=topology)
+        assert any(
+            f.rule == "transit-leak" and f.router == router for f in report
+        )
+
+
+class TestConformance:
+    def test_wrong_local_as_is_flagged(self):
+        topology, configs, texts = _cell_reports("star", 7)
+        configs["R3"].bgp.asn += 1
+        report = analyze_configs(configs, topology=topology)
+        assert any(
+            f.rule == "local-as-mismatch" and f.router == "R3" for f in report
+        )
+
+    def test_missing_router_tolerated(self):
+        # Campaign drafts can lack a router entirely; the analyzer must
+        # not crash, and conformance only covers present configs.
+        topology, configs, texts = _cell_reports("star", 7)
+        del configs["R2"]
+        report = analyze_configs(configs, topology=topology)
+        assert len(report) == 0
+
+
+class TestTextRules:
+    def test_cli_keywords_at_top_level_fire(self):
+        report = analyze_text("R1", "configure terminal\nhostname R1\n")
+        assert any(f.rule == "cli-keywords" for f in report)
+
+    def test_indented_exit_is_config_syntax(self):
+        # Inside a block, ``exit`` is legitimate config-mode syntax —
+        # only unindented CLI keywords are the cli_keywords fault shape.
+        clean = "router bgp 100\n exit\n"
+        assert len(analyze_text("R1", clean)) == 0
+
+    def test_stray_ip_routing_fires(self):
+        report = analyze_text("R1", "ip routing\nhostname R1\n")
+        assert any(f.rule == "stray-ip-routing" for f in report)
+
+    def test_unindented_neighbor_fires(self):
+        text = "hostname R1\nneighbor 10.0.0.2 route-map M out\n"
+        report = analyze_text("R1", text)
+        assert any(f.rule == "misplaced-neighbor" for f in report)
+
+
+class TestRulesTable:
+    def test_every_rule_has_severity_and_description(self):
+        assert RULES
+        for rule, (severity, description) in RULES.items():
+            assert rule == rule.lower()
+            assert severity.value in ("high", "medium", "low")
+            assert description

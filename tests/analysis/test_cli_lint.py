@@ -1,0 +1,64 @@
+"""``repro lint`` CLI: exit codes, JSON payloads, flag conflicts."""
+
+import json
+
+
+from repro.cli import main
+
+
+class TestExitCodes:
+    def test_clean_family_exits_zero(self, capsys):
+        assert main(["lint", "--family", "star", "--routers", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "0 HIGH" in out or "no findings" in out.lower() or out
+
+    def test_injected_fault_exits_one(self):
+        code = main(
+            ["lint", "--family", "star", "--routers", "7",
+             "--fault", "missing_ingress_tag"]
+        )
+        assert code == 1
+
+    def test_unknown_fault_exits_two(self, capsys):
+        code = main(["lint", "--fault", "definitely_not_a_fault"])
+        assert code == 2
+        err = capsys.readouterr().err
+        # The error message lists the catalog so the next invocation
+        # can be typo-free.
+        assert "missing_ingress_tag" in err
+
+    def test_validate_rejects_cell_flags(self, capsys):
+        code = main(["lint", "--validate", "--family", "chain"])
+        assert code == 2
+
+
+class TestJsonOutput:
+    def test_json_payload_is_machine_readable(self, capsys):
+        code = main(["lint", "--family", "star", "--routers", "7", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["high"] == 0
+        assert payload["findings"] == []
+
+    def test_fault_json_carries_findings(self, capsys):
+        code = main(
+            ["lint", "--family", "star", "--routers", "7",
+             "--fault", "missing_ingress_tag", "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["high"] >= 1
+        assert any(
+            finding["rule"] == "untagged-ingress"
+            for finding in payload["findings"]
+        )
+
+    def test_out_writes_the_payload(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.json"
+        code = main(
+            ["lint", "--family", "star", "--routers", "7",
+             "--json", "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["counts"]["total"] == 0

@@ -1,6 +1,5 @@
 """Tests for the BGP control-plane simulator."""
 
-import pytest
 
 from repro.batfish import BgpSimulation
 from repro.cisco import generate_cisco, parse_cisco

@@ -4,7 +4,7 @@ import pytest
 
 from repro.batfish import BfSessionError, Session
 from repro.cisco import generate_cisco
-from repro.netmodel import Action, Community, Prefix
+from repro.netmodel import Community, Prefix
 from repro.sampleconfigs import BATFISH_EXAMPLE_CISCO
 from repro.symbolic import RouteConstraint
 

@@ -1,6 +1,5 @@
 """Tests for structural mismatch detection."""
 
-import copy
 
 import pytest
 

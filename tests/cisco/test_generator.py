@@ -3,7 +3,6 @@
 from repro.cisco import generate_cisco, parse_cisco
 from repro.netmodel import (
     BgpNeighbor,
-    Community,
     Interface,
     Ipv4Address,
     Prefix,

@@ -1,6 +1,6 @@
 """Tests for the IOS line tokenizer."""
 
-from repro.cisco.lexer import ConfigLine, iter_blocks, tokenize
+from repro.cisco.lexer import iter_blocks, tokenize
 
 
 class TestTokenize:

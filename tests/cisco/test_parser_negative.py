@@ -1,7 +1,6 @@
 """Negative-path coverage for the Cisco parser: every malformed input
 must degrade to a warning, never an exception."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.cisco import parse_cisco

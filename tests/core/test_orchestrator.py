@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core import (
     DEFAULT_IIP_IDS,

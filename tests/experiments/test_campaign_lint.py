@@ -1,0 +1,99 @@
+"""The campaign ``--lint`` axis: journal v7 rows, aggregates, CSV shape.
+
+Linting is a process-wide toggle (not a scenario key), so enabling it
+must not perturb scenario identity — resume and ``--report`` keep
+working against journals written either way — and campaigns that do
+not lint must keep emitting byte-for-byte v6-shaped rows (the lint
+keys are absent, not null).
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    JOURNAL_VERSION,
+    build_grid,
+    campaign_lint,
+    run_campaign,
+    set_campaign_lint,
+    summary_from_journals,
+)
+
+GRID_ARGS = dict(families=["star"], sizes=[4], seeds=1)
+
+
+def _grid():
+    return build_grid(**GRID_ARGS)
+
+
+@pytest.fixture
+def lint_enabled():
+    set_campaign_lint(True)
+    try:
+        yield
+    finally:
+        set_campaign_lint(False)
+
+
+class TestLintToggle:
+    def test_default_is_off(self):
+        assert campaign_lint() is False
+
+    def test_toggle_round_trips(self, lint_enabled):
+        assert campaign_lint() is True
+
+
+class TestLintedCampaign:
+    def test_rows_carry_lint_columns(self, tmp_path, lint_enabled):
+        journal = tmp_path / "journal.jsonl"
+        summary = run_campaign(_grid(), workers=1, journal_path=journal)
+        for row in summary.rows:
+            assert row.lint_findings is not None
+            assert row.lint_high is not None
+            assert row.lint_high <= row.lint_findings
+        header = json.loads(journal.read_text().splitlines()[0])
+        assert header["version"] == JOURNAL_VERSION
+        for line in journal.read_text().splitlines()[1:]:
+            row = json.loads(line)["row"]
+            assert row["lint_findings"] is not None
+            assert row["lint_high"] is not None
+
+    def test_summary_aggregates_lint(self, lint_enabled):
+        summary = run_campaign(_grid(), workers=1)
+        payload = summary.to_dict()
+        assert payload["lint"]["scenarios"] == len(summary.rows)
+        assert payload["lint"]["findings"] == sum(
+            row.lint_findings for row in summary.rows
+        )
+        assert "lint:" in summary.render()
+
+    def test_report_recovers_lint_from_the_journal(
+        self, tmp_path, lint_enabled
+    ):
+        journal = tmp_path / "journal.jsonl"
+        live = run_campaign(_grid(), workers=1, journal_path=journal)
+        offline = summary_from_journals([str(journal)])
+        assert offline.to_dict() == live.to_dict()
+
+    def test_csv_never_carries_lint_columns(self, tmp_path, lint_enabled):
+        summary = run_campaign(_grid(), workers=1)
+        path = summary.write_csv(tmp_path / "out.csv")
+        with path.open() as handle:
+            fields = csv.DictReader(handle).fieldnames
+        assert "lint_findings" not in fields
+        assert "lint_high" not in fields
+
+
+class TestUnlintedCampaign:
+    def test_rows_stay_v6_shaped(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        summary = run_campaign(_grid(), workers=1, journal_path=journal)
+        assert all(row.lint_findings is None for row in summary.rows)
+        for line in journal.read_text().splitlines()[1:]:
+            row = json.loads(line)["row"]
+            assert "lint_findings" not in row
+            assert "lint_high" not in row
+        assert "lint" not in summary.to_dict()
+        assert "lint:" not in summary.render()

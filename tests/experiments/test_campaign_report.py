@@ -271,7 +271,6 @@ class TestServiceDirectoryExpansion:
     def campaign_dir(self, tmp_path_factory):
         """A hand-built service layout: the grid's header in
         manifest.jsonl, the result rows split across two shards."""
-        import json as json_module
 
         tmp_path = tmp_path_factory.mktemp("svc")
         source = tmp_path / "source.jsonl"

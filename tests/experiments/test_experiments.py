@@ -1,6 +1,5 @@
 """Tests for the experiment drivers (the table/figure generators)."""
 
-import math
 
 import pytest
 
@@ -12,7 +11,6 @@ from repro.experiments import (
     run_translation_ablation,
     run_translation_experiment,
 )
-from repro.llm import BehaviorProfile
 
 
 class TestTranslationExperiment:

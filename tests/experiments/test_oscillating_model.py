@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments import OscillatingGlobalModel
 from repro.lightyear import check_global_no_transit
-from repro.topology import generate_star_network
 
 
 @pytest.fixture()

@@ -11,6 +11,8 @@ from pathlib import Path
 import pytest
 
 from repro.fuzz.corpus import corpus_files, load_repro, replay_record
+from repro.fuzz.harness import lint_scenario
+from repro.fuzz.scenarios import FuzzScenario
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
 
@@ -44,3 +46,20 @@ def test_corpus_file_is_well_formed(path):
     assert record["check"] in ("semantic", "memo")
     assert record["mismatch"]  # what the fuzzer saw at capture time
     assert set(record["combo"]) == set(record["baseline"])
+
+
+@pytest.mark.parametrize(
+    "path", FILES, ids=[path.name for path in FILES]
+)
+def test_corpus_file_lint_is_deterministic(path):
+    """Corpus hygiene: replaying a corpus entry also runs the static
+    analyzer over the scenario's final edited configs, and two
+    independent runs must produce the identical finding set — ordering,
+    serialization, and rendered text alike.  A rule whose output
+    depends on dict iteration order or cached state fails here."""
+    scenario = FuzzScenario.from_dict(load_repro(path)["scenario"])
+    first = lint_scenario(scenario)
+    second = lint_scenario(scenario)
+    assert first.to_dict() == second.to_dict()
+    assert first.render_text() == second.render_text()
+    assert [f.sort_key() for f in first] == [f.sort_key() for f in second]

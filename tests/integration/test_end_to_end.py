@@ -1,6 +1,5 @@
 """End-to-end integration tests across the whole pipeline."""
 
-import math
 
 import pytest
 
@@ -21,7 +20,6 @@ from repro.llm import (
     BehaviorProfile,
     make_synthesis_models,
     make_translation_model,
-    synthesis_fault_catalog,
     translation_fault_catalog,
 )
 from repro.sampleconfigs import load_translation_source

@@ -24,7 +24,7 @@ from repro.lightyear import (
     verify_invariants,
 )
 from repro.lightyear.compose import reset_simulation_states
-from repro.netmodel.route import route_model, set_route_model
+from repro.netmodel.route import set_route_model
 from repro.symbolic.memo import cache_totals, reset_caches
 from repro.topology.families import generate_network
 from repro.topology.reference import build_reference_configs

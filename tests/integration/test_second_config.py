@@ -6,13 +6,12 @@ prepending â€” all through the full parse â†’ translate â†’ render â†’ reparse â
 Campion pipeline.
 """
 
-import pytest
 
 from repro.campion import compare_configs
 from repro.cisco import generate_cisco, parse_cisco
 from repro.juniper import generate_juniper, parse_juniper, translate_cisco_to_juniper
 from repro.netmodel import Prefix, Route, path_through
-from repro.sampleconfigs import BATFISH_EXAMPLE_CISCO_2, load_second_source
+from repro.sampleconfigs import load_second_source
 
 
 class TestSecondSource:

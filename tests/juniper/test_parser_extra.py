@@ -7,7 +7,7 @@ from repro.juniper import (
     parse_juniper,
     translate_cisco_to_juniper,
 )
-from repro.netmodel import Action, Prefix, Route
+from repro.netmodel import Prefix, Route
 from repro.netmodel.routing_policy import SetAsPathPrepend
 
 

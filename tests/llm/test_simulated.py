@@ -5,7 +5,6 @@ import pytest
 from repro.llm import (
     BehaviorProfile,
     make_translation_model,
-    translation_fault_catalog,
 )
 
 

@@ -1,0 +1,124 @@
+"""ParseWarning round-trips through both vendor parsers.
+
+The humanizer splices ``filename``/``line``/``text`` into Table 1's
+syntax-error prompt formula, so both parsers must preserve them exactly
+as the offending input had them — and :class:`ParseStatus` must move
+PASSED → PARTIALLY_UNRECOGNIZED the moment the first warning lands.
+"""
+
+from repro.cisco import parse_cisco
+from repro.juniper import parse_juniper
+from repro.netmodel.diagnostics import Diagnostics, ParseStatus, ParseWarning
+
+
+class TestDiagnosticsAccumulator:
+    def test_fresh_accumulator_passes(self):
+        assert Diagnostics().status is ParseStatus.PASSED
+
+    def test_first_warning_flips_status(self):
+        diagnostics = Diagnostics(filename="r1.cfg")
+        diagnostics.warn(3, "  frobnicate  ", "This syntax is unrecognized")
+        assert diagnostics.status is ParseStatus.PARTIALLY_UNRECOGNIZED
+
+    def test_clear_returns_to_passed(self):
+        diagnostics = Diagnostics()
+        diagnostics.warn(1, "x", "bad")
+        diagnostics.clear()
+        assert not diagnostics.warnings
+        assert diagnostics.status is ParseStatus.PASSED
+
+    def test_warn_strips_text_and_keeps_location(self):
+        diagnostics = Diagnostics(filename="r1.cfg")
+        warning = diagnostics.warn(7, "  ip cef  \n", "unrecognized")
+        assert warning == ParseWarning(
+            filename="r1.cfg", line=7, text="ip cef", comment="unrecognized"
+        )
+        assert diagnostics.warnings == [warning]
+
+    def test_render_names_file_and_line(self):
+        warning = ParseWarning(
+            filename="r1.cfg", line=7, text="ip cef", comment="unrecognized"
+        )
+        assert warning.render() == "[r1.cfg:7] unrecognized: 'ip cef'"
+
+    def test_render_without_filename_falls_back_to_line(self):
+        warning = ParseWarning(
+            filename="", line=7, text="ip cef", comment="unrecognized"
+        )
+        assert warning.render() == "[line 7] unrecognized: 'ip cef'"
+
+
+class TestCiscoRoundTrip:
+    def test_clean_config_passes(self):
+        result = parse_cisco("hostname R1\n", filename="R1.cfg")
+        assert not result.warnings
+        assert result.diagnostics.status is ParseStatus.PASSED
+
+    def test_unrecognized_line_round_trips(self):
+        # Line 1 is the hostname, line 2 a spacer, line 3 the offender.
+        text = "hostname R1\n!\nfrobnicate the uplink\n"
+        result = parse_cisco(text, filename="R1.cfg")
+        assert result.diagnostics.status is ParseStatus.PARTIALLY_UNRECOGNIZED
+        (warning,) = [
+            item for item in result.warnings if "frobnicate" in item.text
+        ]
+        assert warning.filename == "R1.cfg"
+        assert warning.line == 3
+        assert warning.text == "frobnicate the uplink"
+        assert warning.comment == "This syntax is unrecognized"
+
+    def test_default_filename_round_trips(self):
+        result = parse_cisco("frobnicate\n")
+        assert result.warnings[0].filename == "<cisco>"
+
+    def test_every_warning_carries_the_parse_filename(self):
+        text = "interface\nrouter bgp banana\n"
+        result = parse_cisco(text, filename="broken.cfg")
+        assert result.warnings
+        assert all(
+            warning.filename == "broken.cfg" for warning in result.warnings
+        )
+
+
+class TestJuniperRoundTrip:
+    def test_clean_config_passes(self):
+        result = parse_juniper(
+            "system { host-name r1; }", filename="r1.conf"
+        )
+        assert not result.warnings
+        assert result.diagnostics.status is ParseStatus.PASSED
+
+    def test_bad_prefix_range_round_trips(self):
+        # The paper's Table 1 bug: GPT-4's invented 1.2.3.0/24-32 form.
+        text = (
+            "policy-options {\n"
+            "  prefix-list PL {\n"
+            "    1.2.3.0/24-32;\n"
+            "  }\n"
+            "}\n"
+        )
+        result = parse_juniper(text, filename="r1.conf")
+        assert result.diagnostics.status is ParseStatus.PARTIALLY_UNRECOGNIZED
+        (warning,) = result.warnings
+        assert warning.filename == "r1.conf"
+        assert warning.line == 3
+        assert "1.2.3.0/24-32" in warning.text
+
+    def test_default_filename_round_trips(self):
+        text = "policy-options { prefix-list PL { 1.2.3.0/24-32; } }"
+        result = parse_juniper(text)
+        assert result.warnings[0].filename == "<juniper>"
+
+    def test_status_transition_is_monotone_across_warnings(self):
+        text = (
+            "policy-options {\n"
+            "  prefix-list PL {\n"
+            "    1.2.3.0/24-32;\n"
+            "    4.5.6.0/24-28;\n"
+            "  }\n"
+            "}\n"
+        )
+        result = parse_juniper(text, filename="r1.conf")
+        assert len(result.warnings) == 2
+        assert result.diagnostics.status is ParseStatus.PARTIALLY_UNRECOGNIZED
+        assert [warning.line for warning in result.warnings] == [3, 4]

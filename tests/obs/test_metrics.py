@@ -5,7 +5,6 @@ import threading
 import pytest
 
 from repro.obs import (
-    REGISTRY,
     MetricsRegistry,
     counter,
     counters_snapshot,

@@ -2,12 +2,10 @@
 
 import copy
 
-import pytest
 
 from repro.netmodel import (
     Action,
     MatchPrefixList,
-    MatchPrefixRanges,
     Prefix,
     PrefixList,
     PrefixRange,
